@@ -1,0 +1,87 @@
+package maskfrac
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// BatchItem is the outcome of fracturing one shape in a batch.
+type BatchItem struct {
+	Index  int
+	Result *Result
+	Err    error
+}
+
+// FractureBatch fractures many target shapes concurrently with the
+// given method. A full mask contains billions of polygons and each
+// shape is fractured independently (paper §2), so the mask data prep
+// flow is embarrassingly parallel; workers ≤ 0 selects GOMAXPROCS.
+// Results are returned in input order. Shapes that fail to sample or
+// fracture carry their error in the corresponding item.
+func FractureBatch(targets []Polygon, params Params, m Method, opt *Options, workers int) []BatchItem {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(targets) {
+		workers = len(targets)
+	}
+	items := make([]BatchItem, len(targets))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range work {
+				items[idx] = fractureOne(idx, targets[idx], params, m, opt)
+			}
+		}()
+	}
+	for i := range targets {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return items
+}
+
+// fractureOne samples and fractures a single shape, capturing errors.
+func fractureOne(idx int, target Polygon, params Params, m Method, opt *Options) BatchItem {
+	prob, err := NewProblem(target, params)
+	if err != nil {
+		return BatchItem{Index: idx, Err: fmt.Errorf("maskfrac: shape %d: %w", idx, err)}
+	}
+	res, err := prob.Fracture(m, opt)
+	if err != nil {
+		return BatchItem{Index: idx, Err: fmt.Errorf("maskfrac: shape %d: %w", idx, err)}
+	}
+	return BatchItem{Index: idx, Result: res}
+}
+
+// BatchSummary aggregates a batch run.
+type BatchSummary struct {
+	Shapes   int
+	Errors   int
+	Shots    int
+	Failing  int
+	Feasible int // shapes with zero failing pixels
+}
+
+// Summarize folds batch items into totals.
+func Summarize(items []BatchItem) BatchSummary {
+	var s BatchSummary
+	s.Shapes = len(items)
+	for _, it := range items {
+		if it.Err != nil {
+			s.Errors++
+			continue
+		}
+		s.Shots += it.Result.ShotCount()
+		s.Failing += it.Result.FailingPixels()
+		if it.Result.Feasible() {
+			s.Feasible++
+		}
+	}
+	return s
+}

@@ -1,0 +1,65 @@
+package maskfrac
+
+import "testing"
+
+func TestFractureBatch(t *testing.T) {
+	targets := []Polygon{
+		square(70),
+		square(90),
+		{{X: 0, Y: 0}, {X: 1, Y: 1}}, // invalid shape
+		square(60),
+	}
+	items := FractureBatch(targets, DefaultParams(), MethodProtoEDA, nil, 2)
+	if len(items) != 4 {
+		t.Fatalf("items = %d", len(items))
+	}
+	for i, it := range items {
+		if it.Index != i {
+			t.Errorf("item %d has index %d", i, it.Index)
+		}
+	}
+	if items[2].Err == nil {
+		t.Error("invalid shape produced no error")
+	}
+	for _, i := range []int{0, 1, 3} {
+		if items[i].Err != nil {
+			t.Errorf("shape %d failed: %v", i, items[i].Err)
+		}
+		if items[i].Result.ShotCount() == 0 {
+			t.Errorf("shape %d has no shots", i)
+		}
+	}
+	s := Summarize(items)
+	if s.Shapes != 4 || s.Errors != 1 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Shots == 0 || s.Feasible == 0 {
+		t.Errorf("summary totals empty: %+v", s)
+	}
+}
+
+func TestFractureBatchMatchesSerial(t *testing.T) {
+	targets := []Polygon{square(70), square(90)}
+	params := DefaultParams()
+	items := FractureBatch(targets, params, MethodProtoEDA, nil, 0)
+	for i, target := range targets {
+		prob, err := NewProblem(target, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := prob.Fracture(MethodProtoEDA, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if items[i].Result.ShotCount() != want.ShotCount() {
+			t.Errorf("shape %d: batch %d shots vs serial %d", i, items[i].Result.ShotCount(), want.ShotCount())
+		}
+	}
+}
+
+func TestFractureBatchWorkersExceedShapes(t *testing.T) {
+	items := FractureBatch([]Polygon{square(60)}, DefaultParams(), MethodGSC, nil, 32)
+	if len(items) != 1 || items[0].Err != nil {
+		t.Fatalf("items = %+v", items)
+	}
+}

@@ -1,0 +1,406 @@
+package maskfrac
+
+// Benchmark harness regenerating every table and figure of the paper
+// (see DESIGN.md for the experiment index):
+//
+//	BenchmarkTable2/*    — Table 2: ten ILT-like shapes per method;
+//	                       reports total shots and normalized shot sum.
+//	BenchmarkTable3/*    — Table 3: ten known-optimal generated shapes.
+//	BenchmarkFig1RDP     — boundary approximation + corner extraction.
+//	BenchmarkFig2Lth     — corner rounding / Lth computation.
+//	BenchmarkFig3Coloring — graph-coloring approximate fracturing stage.
+//	BenchmarkFig4Extension — shot reconstruction with boundary extension.
+//	BenchmarkFig5Merge   — the shot merging pass.
+//	BenchmarkCostModel   — the intro's write-time/cost arithmetic.
+//	BenchmarkAblation/*  — design-choice ablations of the paper's method.
+//	Benchmark<micro>     — substrate micro-benchmarks (dose map, delta
+//	                       cost, EDT, coloring, partition).
+//
+// Run: go test -bench=. -benchmem   (the table benches take minutes,
+// dominated by the same runs the paper reports in its runtime columns).
+
+import (
+	"sync"
+	"testing"
+
+	"maskfrac/internal/cover"
+	"maskfrac/internal/ebeam"
+	"maskfrac/internal/fracture/lshape"
+	"maskfrac/internal/fracture/mbf"
+	"maskfrac/internal/fracture/partition"
+	"maskfrac/internal/fracture/vdose"
+	"maskfrac/internal/geom"
+	"maskfrac/internal/graphx"
+	"maskfrac/internal/metrics"
+	"maskfrac/internal/raster"
+	"maskfrac/internal/writecost"
+)
+
+var (
+	suiteOnce sync.Once
+	iltBench  []Benchmark
+	genBench  []Benchmark
+)
+
+// suites generates the benchmark shapes once per process.
+func suites() ([]Benchmark, []Benchmark) {
+	suiteOnce.Do(func() {
+		iltBench = ILTSuite()
+		genBench = GeneratedSuite(DefaultParams())
+	})
+	return iltBench, genBench
+}
+
+// runTable fractures every shape in the suite with one method and
+// reports the paper's summary metrics.
+func runTable(b *testing.B, suite []Benchmark, m Method, useOptimal bool) {
+	b.Helper()
+	params := DefaultParams()
+	var rows []Row
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = RunSuite(suite, params, []Method{m})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(TotalShots(rows, m)), "shots")
+	b.ReportMetric(NormalizedShotSum(rows, m, useOptimal), "norm-shots")
+	fail := 0
+	for _, r := range rows {
+		fail += r.FailOn + r.FailOff
+	}
+	b.ReportMetric(float64(fail), "failing-px")
+}
+
+func BenchmarkTable2(b *testing.B) {
+	ilt, _ := suites()
+	for _, m := range []Method{MethodGSC, MethodMP, MethodProtoEDA, MethodMBF} {
+		b.Run(string(m), func(b *testing.B) { runTable(b, ilt, m, false) })
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	_, gen := suites()
+	for _, m := range []Method{MethodGSC, MethodMP, MethodProtoEDA, MethodMBF} {
+		b.Run(string(m), func(b *testing.B) { runTable(b, gen, m, true) })
+	}
+}
+
+// BenchmarkFig1RDP measures the boundary approximation + corner point
+// extraction stage and reports the vertex reduction of Fig 1.
+func BenchmarkFig1RDP(b *testing.B) {
+	ilt, _ := suites()
+	p := mustCover(b, ilt[0].Target)
+	var pts []mbf.CornerPoint
+	var simplified geom.Polygon
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, simplified, _ = mbf.ExtractCorners(p, mbf.Options{})
+	}
+	b.ReportMetric(float64(len(ilt[0].Target)), "vertices-in")
+	b.ReportMetric(float64(len(simplified)), "vertices-rdp")
+	b.ReportMetric(float64(len(pts)), "corner-points")
+}
+
+// BenchmarkFig2Lth measures the corner rounding analysis of Fig 2 and
+// reports Lth and the rounding depth for the paper's parameters.
+func BenchmarkFig2Lth(b *testing.B) {
+	model := ebeam.NewModel(6.25)
+	var lth float64
+	for i := 0; i < b.N; i++ {
+		lth = model.Lth(0.5, 2)
+	}
+	b.ReportMetric(lth, "Lth-nm")
+	b.ReportMetric(model.CornerDepth(0.5), "depth-nm")
+}
+
+// BenchmarkFig3Coloring measures the full approximate fracturing stage
+// (corner graph + inverse coloring + shot reconstruction) of Fig 3.
+func BenchmarkFig3Coloring(b *testing.B) {
+	ilt, _ := suites()
+	p := mustCover(b, ilt[0].Target)
+	var res *mbf.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = mbf.Fracture(p, mbf.Options{SkipRefinement: true})
+	}
+	b.ReportMetric(float64(res.Info.Corners), "corners")
+	b.ReportMetric(float64(res.Info.GraphEdges), "graph-edges")
+	b.ReportMetric(float64(res.Info.Colors), "colors")
+}
+
+// BenchmarkFig4Extension exercises under-constrained shot
+// reconstruction: a top-edge-only clique extended to the opposite
+// boundary (Fig 4).
+func BenchmarkFig4Extension(b *testing.B) {
+	p := mustCover(b, square(100))
+	var res *mbf.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = mbf.Fracture(p, mbf.Options{SkipRefinement: true})
+	}
+	b.ReportMetric(float64(res.Info.InitialShots), "initial-shots")
+}
+
+// BenchmarkFig5Merge measures the shot merging criteria of Fig 5 on a
+// deliberately fragmented feasible cover.
+func BenchmarkFig5Merge(b *testing.B) {
+	p := mustCover(b, square(100))
+	frag := []geom.Rect{
+		{X0: -0.5, Y0: -0.5, X1: 100.5, Y1: 35},
+		{X0: -0.4, Y0: 30, X1: 100.4, Y1: 70},
+		{X0: -0.5, Y0: 65, X1: 100.5, Y1: 100.5},
+		{X0: 20, Y0: 20, X1: 60, Y1: 60}, // contained after merges
+	}
+	var merged int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := mbf.MergePass(p, append([]geom.Rect(nil), frag...))
+		merged = len(res)
+	}
+	b.ReportMetric(float64(len(frag)), "shots-before")
+	b.ReportMetric(float64(merged), "shots-after")
+}
+
+// BenchmarkCostModel reproduces the introduction's cost arithmetic:
+// shot count → write time → mask cost.
+func BenchmarkCostModel(b *testing.B) {
+	m := writecost.Default()
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		reduction = m.CostReduction(1_000_000_000, 900_000_000)
+	}
+	b.ReportMetric(reduction*100, "maskcost-%")
+}
+
+// BenchmarkAblation quantifies the design choices the paper calls out,
+// on two representative clips. Reported metric: total shots (lower is
+// better) and failing pixels.
+func BenchmarkAblation(b *testing.B) {
+	ilt, _ := suites()
+	clips := []Benchmark{ilt[0], ilt[2]}
+	cases := []struct {
+		name string
+		opt  mbf.Options
+	}{
+		{"baseline", mbf.Options{}},
+		{"no-rdp", mbf.Options{DisableRDP: true}},
+		{"no-clustering", mbf.Options{DisableClustering: true}},
+		{"no-merge", mbf.Options{DisableMerge: true}},
+		{"no-bias", mbf.Options{DisableBias: true}},
+		{"no-blocking", mbf.Options{DisableBlocking: true}},
+		{"welsh-powell", mbf.Options{Order: graphx.WelshPowell}},
+		{"smallest-last", mbf.Options{Order: graphx.SmallestLast}},
+		{"overlap-60", mbf.Options{OverlapFrac: 0.6}},
+		{"overlap-90", mbf.Options{OverlapFrac: 0.9}},
+		{"nh-2", mbf.Options{NH: 2}},
+		{"nh-10", mbf.Options{NH: 10}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			shots, fails := 0, 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				shots, fails = 0, 0
+				for _, clip := range clips {
+					p := mustCover(b, clip.Target)
+					res := mbf.Fracture(p, tc.opt)
+					shots += len(res.Shots)
+					fails += res.Stats.Fail()
+				}
+			}
+			b.ReportMetric(float64(shots), "shots")
+			b.ReportMetric(float64(fails), "failing-px")
+		})
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+func BenchmarkDoseMap(b *testing.B) {
+	p := mustCover(b, square(100))
+	shots := []geom.Rect{
+		{X0: 0, Y0: 0, X1: 60, Y1: 100},
+		{X0: 40, Y0: 0, X1: 100, Y1: 100},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Model.DoseMap(p.Grid, shots)
+	}
+}
+
+func BenchmarkDeltaCost(b *testing.B) {
+	p := mustCover(b, square(100))
+	e := cover.NewEval(p, []geom.Rect{{X0: 0, Y0: 0, X1: 100, Y1: 100}})
+	moved := geom.Rect{X0: 0, Y0: 0, X1: 101, Y1: 100}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.DeltaCost(0, moved)
+	}
+}
+
+func BenchmarkEDT(b *testing.B) {
+	g := raster.Grid{Pitch: 1, W: 256, H: 256}
+	bm := raster.NewBitmap(g)
+	for k := 0; k < g.Len(); k += 97 {
+		bm.Bits[k] = true
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raster.DistanceTransform(bm)
+	}
+}
+
+func BenchmarkGreedyColoring(b *testing.B) {
+	g := graphx.New(200)
+	for i := 0; i < 200; i++ {
+		for j := i + 1; j < 200; j += 7 {
+			g.AddEdge(i, j)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.GreedyColor(graphx.Sequential)
+	}
+}
+
+func BenchmarkMinimumPartition(b *testing.B) {
+	// a 6-step staircase polygon
+	pg := geom.Polygon{
+		{X: 0, Y: 0}, {X: 120, Y: 0}, {X: 120, Y: 20}, {X: 100, Y: 20},
+		{X: 100, Y: 40}, {X: 80, Y: 40}, {X: 80, Y: 60}, {X: 60, Y: 60},
+		{X: 60, Y: 80}, {X: 40, Y: 80}, {X: 40, Y: 100}, {X: 20, Y: 100},
+		{X: 20, Y: 120}, {X: 0, Y: 120},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := partition.Minimum(pg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFractureQuick(b *testing.B) {
+	// end-to-end paper method on one small clip (per-shape runtime,
+	// comparable to the paper's per-shape runtime column)
+	ilt, _ := suites()
+	p := mustCover(b, ilt[0].Target)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mbf.Fracture(p, mbf.Options{})
+	}
+}
+
+// mustCover builds the internal problem used by stage-level benches.
+func mustCover(b *testing.B, target Polygon) *cover.Problem {
+	b.Helper()
+	p, err := cover.NewProblem(target, cover.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// --- extension benchmarks (the paper's cited alternatives) ---
+
+// BenchmarkExtensionVDose measures the variable-dose post-pass (paper
+// ref [18]): dose optimization + dose-backed shot deletion on top of
+// the paper's fixed-dose solution.
+func BenchmarkExtensionVDose(b *testing.B) {
+	ilt, _ := suites()
+	p := mustCover(b, ilt[0].Target)
+	fixed := mbf.Fracture(p, mbf.Options{})
+	b.ResetTimer()
+	var reduced int
+	for i := 0; i < b.N; i++ {
+		res := vdose.Optimize(p, fixed.Shots, vdose.Options{})
+		res = vdose.Reduce(p, res, vdose.Options{})
+		reduced = res.ShotCount()
+	}
+	b.ReportMetric(float64(len(fixed.Shots)), "fixed-shots")
+	b.ReportMetric(float64(reduced), "vdose-shots")
+}
+
+// BenchmarkExtensionLShape measures L-shape pairing (paper ref [20]) on
+// a rectilinearized ILT clip.
+func BenchmarkExtensionLShape(b *testing.B) {
+	ilt, _ := suites()
+	p := mustCover(b, ilt[0].Target)
+	b.ResetTimer()
+	var rects, shots int
+	for i := 0; i < b.N; i++ {
+		res, err := lshape.Fracture(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rects, shots = res.RectCount, res.ShotCount()
+	}
+	b.ReportMetric(float64(rects), "rects")
+	b.ReportMetric(float64(shots), "l-shots")
+}
+
+// BenchmarkBatch measures parallel full-mask fracturing throughput with
+// the fast conventional baseline.
+func BenchmarkBatch(b *testing.B) {
+	ilt, _ := suites()
+	targets := make([]Polygon, len(ilt))
+	for i, bench := range ilt {
+		targets[i] = bench.Target
+	}
+	params := DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		items := FractureBatch(targets, params, MethodProtoEDA, nil, 0)
+		if s := Summarize(items); s.Errors > 0 {
+			b.Fatalf("batch errors: %d", s.Errors)
+		}
+	}
+}
+
+// BenchmarkMetricsEPE measures the edge-placement-error analysis.
+func BenchmarkMetricsEPE(b *testing.B) {
+	ilt, _ := suites()
+	p := mustCover(b, ilt[0].Target)
+	res := mbf.Fracture(p, mbf.Options{})
+	b.ResetTimer()
+	var st metrics.EPEStats
+	for i := 0; i < b.N; i++ {
+		st = metrics.EPE(p, res.Shots, 2)
+	}
+	b.ReportMetric(st.RMS, "epe-rms-nm")
+	b.ReportMetric(st.Max, "epe-max-nm")
+}
+
+// BenchmarkBackscatter fractures one clip under the paper's single
+// Gaussian and under the two-Gaussian forward+backscatter model
+// (α = 6.25 nm, β = 30 nm, η = 0.3): long-range backscatter raises the
+// background dose, so shots must shrink and counts typically rise.
+func BenchmarkBackscatter(b *testing.B) {
+	target := square(100)
+	single := DefaultParams()
+	double := single
+	double.Beta = 30
+	double.Eta = 0.3
+	for _, tc := range []struct {
+		name   string
+		params Params
+	}{{"single-gaussian", single}, {"with-backscatter", double}} {
+		b.Run(tc.name, func(b *testing.B) {
+			p, err := cover.NewProblem(target, tc.params)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var res *mbf.Result
+			for i := 0; i < b.N; i++ {
+				// the 90 nm backscatter support makes refinement steps
+				// expensive; a bounded budget keeps the bench tractable
+				res = mbf.Fracture(p, mbf.Options{Nmax: 600})
+			}
+			b.ReportMetric(float64(len(res.Shots)), "shots")
+			b.ReportMetric(float64(res.Stats.Fail()), "failing-px")
+		})
+	}
+}

@@ -1,0 +1,56 @@
+// Command benchgen writes the benchmark shape suites to .msk files:
+// the ten ILT-like clips (Table 2) and the ten known-optimal generated
+// shapes AGB-1..5 / RGB-1..5 (Table 3).
+//
+// Usage:
+//
+//	benchgen [-dir benchmarks]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"maskfrac"
+	"maskfrac/internal/maskio"
+)
+
+func main() {
+	dir := flag.String("dir", "benchmarks", "output directory")
+	flag.Parse()
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fatal(err)
+	}
+	params := maskfrac.DefaultParams()
+	if err := write(filepath.Join(*dir, "ilt.msk"), maskfrac.ILTSuite()); err != nil {
+		fatal(err)
+	}
+	if err := write(filepath.Join(*dir, "generated.msk"), maskfrac.GeneratedSuite(params)); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s/ilt.msk and %s/generated.msk\n", *dir, *dir)
+}
+
+func write(path string, suite []maskfrac.Benchmark) error {
+	shapes := make([]maskio.NamedShape, 0, len(suite))
+	for _, b := range suite {
+		name := b.Name
+		if b.Optimal > 0 {
+			name = fmt.Sprintf("%s_opt%d", b.Name, b.Optimal)
+		}
+		shapes = append(shapes, maskio.NamedShape{Name: name, Polygon: b.Target})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return maskio.WriteShapes(f, shapes)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,132 @@
+// Command fracture runs model-based mask fracturing on a shape file.
+//
+// Usage:
+//
+//	fracture -in shapes.msk [-shape NAME] [-method mbf|gsc|mp|proto-eda|partition]
+//	         [-out shots.txt] [-svg out.svg] [-sigma 6.25] [-gamma 2] [-lmin 8]
+//
+// Without -in it fractures the first built-in ILT benchmark clip.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"maskfrac"
+	"maskfrac/internal/geom"
+	"maskfrac/internal/maskio"
+	"maskfrac/internal/svg"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "input .msk shape file (default: built-in ILT-1)")
+		shape  = flag.String("shape", "", "shape name to fracture (default: first in file)")
+		method = flag.String("method", "mbf", "fracturing method: mbf, gsc, mp, proto-eda, partition")
+		out    = flag.String("out", "", "write the shot list to this file")
+		svgOut = flag.String("svg", "", "render target + shots to this SVG file")
+		sigma  = flag.Float64("sigma", 6.25, "e-beam blur sigma in nm")
+		gamma  = flag.Float64("gamma", 2, "CD tolerance in nm")
+		lmin   = flag.Float64("lmin", 8, "minimum shot size in nm")
+	)
+	flag.Parse()
+
+	target, name, err := loadTarget(*in, *shape)
+	if err != nil {
+		fatal(err)
+	}
+	params := maskfrac.DefaultParams()
+	params.Sigma = *sigma
+	params.Gamma = *gamma
+	params.Lmin = *lmin
+	prob, err := maskfrac.NewProblem(target, params)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := prob.Fracture(maskfrac.Method(*method), nil)
+	if err != nil {
+		fatal(err)
+	}
+	lb, ub := prob.Bounds()
+	fmt.Printf("shape %s: %d vertices, bounds LB=%d UB=%d\n", name, len(target), lb, ub)
+	fmt.Printf("method %s: %d shots, %d failing pixels (on=%d off=%d), %.3fs\n",
+		res.Method, res.ShotCount(), res.FailingPixels(), res.FailOn, res.FailOff, res.Runtime.Seconds())
+	if res.Stage != nil {
+		fmt.Printf("stage: %d->%d vertices, %d corners, %d colors, Lth=%.1fnm, %d iterations\n",
+			res.Stage.VerticesIn, res.Stage.VerticesRDP, res.Stage.Corners,
+			res.Stage.Colors, res.Stage.Lth, res.Stage.Iterations)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := maskio.WriteShots(f, res.Shots); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d shots to %s\n", res.ShotCount(), *out)
+	}
+	if *svgOut != "" {
+		if err := render(*svgOut, target, res.Shots); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *svgOut)
+	}
+}
+
+// loadTarget reads the requested shape, falling back to the first
+// built-in benchmark clip.
+func loadTarget(path, name string) (maskfrac.Polygon, string, error) {
+	if path == "" {
+		suite := maskfrac.ILTSuite()
+		return suite[0].Target, suite[0].Name, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	shapes, err := maskio.ReadShapes(f)
+	if err != nil {
+		return nil, "", err
+	}
+	if len(shapes) == 0 {
+		return nil, "", fmt.Errorf("no shapes in %s", path)
+	}
+	if name == "" {
+		return shapes[0].Polygon, shapes[0].Name, nil
+	}
+	for _, s := range shapes {
+		if s.Name == name {
+			return s.Polygon, s.Name, nil
+		}
+	}
+	return nil, "", fmt.Errorf("shape %q not found in %s", name, path)
+}
+
+// render writes the target and shots to an SVG file.
+func render(path string, target maskfrac.Polygon, shots []maskfrac.Shot) error {
+	view := target.Bounds()
+	for _, s := range shots {
+		view = view.Union(geom.Rect(s))
+	}
+	c := svg.NewCanvas(view, 4)
+	c.Polygon(target, "#dddddd", "#333333", 0.4)
+	for _, s := range shots {
+		c.Rect(s, "rgba(30,90,200,0.25)", "#1a5ac8", 0.3)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = c.WriteTo(f)
+	return err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fracture:", err)
+	os.Exit(1)
+}

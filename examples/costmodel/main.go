@@ -1,0 +1,55 @@
+// Mask cost analysis: translate shot-count reductions into mask write
+// time and mask cost, reproducing the economic argument of the paper's
+// introduction ("a reduction of even 10% in shot count would roughly
+// translate to 2% improvement in mask cost").
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"maskfrac"
+	"maskfrac/internal/writecost"
+)
+
+func main() {
+	model := writecost.Default()
+
+	// Headline arithmetic from the paper's introduction.
+	fmt.Println("paper's introduction, reproduced:")
+	fmt.Println(" ", model.Summary("10% shot reduction", 1_000_000_000, 900_000_000))
+	fmt.Println()
+
+	// Now with measured numbers: fracture a few clips with the
+	// conventional-tool baseline and the paper's method, extrapolate to
+	// a full mask (billions of shapes scale linearly since shapes are
+	// fractured independently).
+	params := maskfrac.DefaultParams()
+	suite := maskfrac.ILTSuite()[:3]
+	base, ours := 0, 0
+	for _, clip := range suite {
+		prob, err := maskfrac.NewProblem(clip.Target, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pr, err := prob.Fracture(maskfrac.MethodProtoEDA, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mr, err := prob.Fracture(maskfrac.MethodMBF, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base += pr.ShotCount()
+		ours += mr.ShotCount()
+		fmt.Printf("%s: conventional %d shots, model-based %d shots\n",
+			clip.Name, pr.ShotCount(), mr.ShotCount())
+	}
+	// extrapolate: a critical mask layer has ~1e9 shapes of this class
+	const shapesPerMask = 1_000_000_000 / 3
+	baseMask := int64(base) * shapesPerMask
+	oursMask := int64(ours) * shapesPerMask
+	fmt.Println()
+	fmt.Println("extrapolated to a full critical mask layer:")
+	fmt.Println(" ", model.Summary("model-based fracturing", baseMask, oursMask))
+}

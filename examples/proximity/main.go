@@ -1,0 +1,49 @@
+// Proximity effect study: how e-beam blur shapes what a single shot can
+// write — edge profiles, corner rounding depth, and the longest 45°
+// segment Lth a shot corner can produce within CD tolerance (the
+// quantity behind the paper's Fig 2 and its corner point extraction).
+package main
+
+import (
+	"fmt"
+
+	"maskfrac/internal/ebeam"
+)
+
+func main() {
+	const rho = 0.5
+
+	fmt.Println("edge profile P(d) for sigma = 6.25 nm (dose vs distance into the shot):")
+	m := ebeam.NewModel(6.25)
+	for _, d := range []float64{-6, -4, -2, 0, 2, 4, 6} {
+		fmt.Printf("  d = %+5.1f nm  P = %.4f\n", d, m.EdgeProfile(d))
+	}
+
+	fmt.Println("\ncorner rounding depth and Lth vs CD tolerance gamma (sigma = 6.25 nm):")
+	fmt.Printf("  rounding depth at rho=0.5: %.2f nm\n", m.CornerDepth(rho))
+	for _, gamma := range []float64{0.5, 1, 2, 3, 4} {
+		fmt.Printf("  gamma = %.1f nm  ->  Lth = %5.1f nm\n", gamma, m.Lth(rho, gamma))
+	}
+
+	fmt.Println("\nLth vs blur sigma (gamma = 2 nm):")
+	for _, sigma := range []float64{3, 5, 6.25, 8, 10, 12} {
+		mm := ebeam.NewModel(sigma)
+		fmt.Printf("  sigma = %5.2f nm  ->  Lth = %5.1f nm  (depth %.2f nm)\n",
+			sigma, mm.Lth(rho, 2), mm.CornerDepth(rho))
+	}
+
+	fmt.Println("\ncorner iso-dose contour (quarter-plane shot at the origin, rho = 0.5):")
+	for _, p := range m.CornerContour(rho, 9) {
+		fmt.Printf("  (%6.2f, %6.2f)\n", p.X, p.Y)
+	}
+	fmt.Println("\nthe 45-degree run near the diagonal is what mask fracturing exploits")
+	fmt.Println("to write diagonal ILT boundary segments with single shot corners.")
+
+	fmt.Println("\ntwo-Gaussian model (alpha=6.25, beta=30, eta=0.3): backscatter")
+	fmt.Println("raises the dose tail far from the shot edge:")
+	dg := ebeam.NewDoubleGaussian(6.25, 30, 0.3)
+	for _, d := range []float64{-40, -25, -15, -8, 0, 8} {
+		fmt.Printf("  d = %+5.1f nm  single P = %.4f   double P = %.4f\n",
+			d, m.EdgeProfile(d), dg.EdgeProfile(d))
+	}
+}

@@ -1,0 +1,45 @@
+// SRAF cluster fracturing: a main contact feature plus sub-resolution
+// assist features fractured as one instance — the workload that
+// motivated matching-pursuit fracturing and a standard ILT mask
+// pattern. All shapes share the dose budget: assist bars sit within the
+// proximity range of the main feature, so their shots interact.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"maskfrac"
+)
+
+func main() {
+	cluster := maskfrac.SRAFCluster(7, 4)
+	fmt.Printf("instance: 1 main feature + %d assist bars\n", len(cluster)-1)
+	for i, pg := range cluster {
+		kind := "SRAF"
+		if i == 0 {
+			kind = "main"
+		}
+		b := pg.Bounds()
+		fmt.Printf("  %-4s %4.0f x %-4.0f nm at (%.0f, %.0f)\n", kind, b.W(), b.H(), b.X0, b.Y0)
+	}
+
+	prob, err := maskfrac.NewMultiProblem(cluster, maskfrac.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	on, off := prob.PixelCounts()
+	fmt.Printf("\nsampled: %d interior / %d exterior pixels across %d shapes\n\n",
+		on, off, len(prob.Targets()))
+
+	for _, m := range []maskfrac.Method{maskfrac.MethodMBF, maskfrac.MethodGSC, maskfrac.MethodProtoEDA} {
+		res, err := prob.Fracture(m, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %2d shots, %3d failing pixels, %6.2fs\n",
+			m, res.ShotCount(), res.FailingPixels(), res.Runtime.Seconds())
+	}
+	fmt.Println("\nnote: the naive count is one shot per shape (5); model-based")
+	fmt.Println("fracturing must still isolate each bar's dose from its neighbors.")
+}

@@ -1,0 +1,3 @@
+module maskfrac
+
+go 1.22

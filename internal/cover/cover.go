@@ -1,0 +1,508 @@
+// Package cover defines the model-based mask fracturing problem (paper
+// §2): the sampled target shape, the pixel classification into Pon /
+// Poff / don't-care band Px, the dose constraints, and an incremental
+// evaluator used by all fracturing heuristics to score candidate shot
+// configurations.
+package cover
+
+import (
+	"fmt"
+	"math"
+
+	"maskfrac/internal/ebeam"
+	"maskfrac/internal/geom"
+	"maskfrac/internal/raster"
+)
+
+// Params are the fracturing parameters. The paper's experiments use
+// Gamma = 2 nm, Sigma = 6.25 nm, Pitch Δp = 1 nm, Rho = 0.5 and a tool
+// minimum shot size Lmin.
+type Params struct {
+	Sigma float64 // forward-scattering blur σ (α) in nm
+	Gamma float64 // CD tolerance γ in nm
+	Rho   float64 // dose threshold ρ (fraction of full dose)
+	Pitch float64 // pixel size Δp in nm
+	Lmin  float64 // minimum shot width/height in nm
+
+	// Optional two-Gaussian proximity model: backscatter range β and
+	// backscatter ratio η. Eta = 0 (the default and the paper's model)
+	// selects the single forward Gaussian.
+	Beta float64
+	Eta  float64
+}
+
+// DefaultParams returns the parameter set used in the paper's
+// experimental section (§5) with Lmin = 8 nm.
+func DefaultParams() Params {
+	return Params{Sigma: 6.25, Gamma: 2, Rho: 0.5, Pitch: 1, Lmin: 8}
+}
+
+// Validate checks that the parameters are physically sensible.
+func (p Params) Validate() error {
+	switch {
+	case p.Sigma <= 0:
+		return fmt.Errorf("cover: sigma %g must be positive", p.Sigma)
+	case p.Gamma < 0:
+		return fmt.Errorf("cover: gamma %g must be non-negative", p.Gamma)
+	case p.Rho <= 0 || p.Rho >= 1:
+		return fmt.Errorf("cover: rho %g must be in (0,1)", p.Rho)
+	case p.Pitch <= 0:
+		return fmt.Errorf("cover: pitch %g must be positive", p.Pitch)
+	case p.Lmin <= 0:
+		return fmt.Errorf("cover: lmin %g must be positive", p.Lmin)
+	case p.Eta < 0:
+		return fmt.Errorf("cover: eta %g must be non-negative", p.Eta)
+	case p.Eta > 0 && p.Beta <= 0:
+		return fmt.Errorf("cover: beta %g must be positive when eta is set", p.Beta)
+	}
+	return nil
+}
+
+// model builds the proximity model the parameters describe.
+func (p Params) model() *ebeam.Model {
+	if p.Eta > 0 {
+		return ebeam.NewDoubleGaussian(p.Sigma, p.Beta, p.Eta)
+	}
+	return ebeam.NewModel(p.Sigma)
+}
+
+// Class is the constraint class of a pixel.
+type Class uint8
+
+const (
+	// Off pixels (Poff) lie outside the target, more than γ from its
+	// boundary; they require Itot < ρ.
+	Off Class = iota
+	// On pixels (Pon) lie inside the target, more than γ from its
+	// boundary; they require Itot ≥ ρ.
+	On
+	// Band pixels (Px) lie within γ of the boundary and carry no
+	// constraint.
+	Band
+)
+
+// Problem is a sampled fracturing instance for a target: one mask
+// shape, or a group of shapes written together (a main feature plus its
+// sub-resolution assist features).
+type Problem struct {
+	Target  geom.Polygon   // the primary mask shape (Targets[0])
+	Targets []geom.Polygon // all shapes of the instance
+	Params  Params
+	Grid    raster.Grid  // sampling grid covering the targets plus 3σ margin
+	Model   *ebeam.Model // proximity model
+	Inside  *raster.Bitmap
+	Class   []Class // per-pixel class, row-major over Grid
+
+	nOn, nOff int
+}
+
+// NewProblem samples the target shape onto a grid with pitch
+// params.Pitch, covering the shape's bounding box plus a 3σ+γ margin,
+// and classifies every pixel into Pon, Poff or the band Px.
+func NewProblem(target geom.Polygon, params Params) (*Problem, error) {
+	return NewMultiProblem([]geom.Polygon{target}, params)
+}
+
+// NewMultiProblem samples a group of disjoint target shapes into one
+// fracturing instance. The shapes share the dose budget: every interior
+// pixel of any shape must reach ρ and every exterior pixel must stay
+// below it, so assist features and their main feature are fractured
+// together (as on a real mask, where SRAF satellites sit within the
+// proximity range of the feature they assist).
+func NewMultiProblem(targets []geom.Polygon, params Params) (*Problem, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("cover: no target shapes")
+	}
+	cloned := make([]geom.Polygon, len(targets))
+	box := geom.Rect{}
+	for i, t := range targets {
+		if err := t.Validate(); err != nil {
+			return nil, fmt.Errorf("cover: invalid target %d: %w", i, err)
+		}
+		cloned[i] = t.Clone()
+		box = box.Union(t.Bounds())
+	}
+	model := params.model()
+	margin := model.Support() + params.Gamma + 2*params.Pitch
+	grid := raster.GridCovering(box, margin, params.Pitch)
+	inside := raster.NewBitmap(grid)
+	for _, t := range cloned {
+		bm, err := raster.Rasterize(t, grid)
+		if err != nil {
+			return nil, err
+		}
+		for k, v := range bm.Bits {
+			if v {
+				inside.Bits[k] = true
+			}
+		}
+	}
+	p := &Problem{
+		Target:  cloned[0],
+		Targets: cloned,
+		Params:  params,
+		Grid:    grid,
+		Model:   model,
+		Inside:  inside,
+		Class:   make([]Class, grid.Len()),
+	}
+	p.classify()
+	return p, nil
+}
+
+// ContainsPoint reports whether pt lies inside any target shape.
+func (p *Problem) ContainsPoint(pt geom.Point) bool {
+	for _, t := range p.Targets {
+		if t.Contains(pt) {
+			return true
+		}
+	}
+	return false
+}
+
+// TargetBounds returns the bounding box of all target shapes.
+func (p *Problem) TargetBounds() geom.Rect {
+	box := geom.Rect{}
+	for _, t := range p.Targets {
+		box = box.Union(t.Bounds())
+	}
+	return box
+}
+
+// classify assigns Pon/Poff/Px classes: pixels within Gamma of the
+// target boundary form the don't-care band, the rest split by
+// inside/outside.
+func (p *Problem) classify() {
+	g := p.Grid
+	band := make([]bool, g.Len())
+	gamma := p.Params.Gamma
+	// mark pixels within gamma of any boundary edge (local boxes only)
+	for _, target := range p.Targets {
+		p.markBand(band, target, gamma)
+	}
+	for k := range p.Class {
+		switch {
+		case band[k]:
+			p.Class[k] = Band
+		case p.Inside.Bits[k]:
+			p.Class[k] = On
+			p.nOn++
+		default:
+			p.Class[k] = Off
+			p.nOff++
+		}
+	}
+}
+
+// markBand flags pixels within gamma of the polygon's boundary.
+func (p *Problem) markBand(band []bool, target geom.Polygon, gamma float64) {
+	g := p.Grid
+	for ei := range target {
+		a, b := target.Edge(ei)
+		box := geom.RectFromCorners(a, b).Inset(-(gamma + g.Pitch))
+		i0, j0 := g.PixelOf(geom.Pt(box.X0, box.Y0))
+		i1, j1 := g.PixelOf(geom.Pt(box.X1, box.Y1))
+		i0, j0 = g.ClampX(i0), g.ClampY(j0)
+		i1, j1 = g.ClampX(i1), g.ClampY(j1)
+		for j := j0; j <= j1; j++ {
+			for i := i0; i <= i1; i++ {
+				k := g.Index(i, j)
+				if band[k] {
+					continue
+				}
+				if geom.PointSegDist(g.Center(i, j), a, b) <= gamma {
+					band[k] = true
+				}
+			}
+		}
+	}
+}
+
+// OnCount returns |Pon|.
+func (p *Problem) OnCount() int { return p.nOn }
+
+// OffCount returns |Poff| (within the sampled window).
+func (p *Problem) OffCount() int { return p.nOff }
+
+// MinSizeOK reports whether shot s satisfies the minimum shot size
+// constraint (paper §2, condition 2), with a small numeric slack.
+func (p *Problem) MinSizeOK(s geom.Rect) bool {
+	const eps = 1e-9
+	return s.W() >= p.Params.Lmin-eps && s.H() >= p.Params.Lmin-eps
+}
+
+// InteriorFraction returns the fraction of shot s's area that lies
+// inside the target shape, estimated on the sampling grid. Used by the
+// paper's 80% test-shot and 90% merge criteria.
+func (p *Problem) InteriorFraction(s geom.Rect) float64 {
+	g := p.Grid
+	i0, j0 := g.PixelOf(geom.Pt(s.X0, s.Y0))
+	i1, j1 := g.PixelOf(geom.Pt(s.X1-1e-9, s.Y1-1e-9))
+	i0, j0 = g.ClampX(i0), g.ClampY(j0)
+	i1, j1 = g.ClampX(i1), g.ClampY(j1)
+	total, in := 0, 0
+	for j := j0; j <= j1; j++ {
+		for i := i0; i <= i1; i++ {
+			c := g.Center(i, j)
+			if !s.Contains(c) {
+				continue
+			}
+			total++
+			if p.Inside.Bits[g.Index(i, j)] {
+				in++
+			}
+		}
+	}
+	if total == 0 {
+		// shot smaller than a pixel: fall back to center point test
+		if p.ContainsPoint(s.Center()) {
+			return 1
+		}
+		return 0
+	}
+	return float64(in) / float64(total)
+}
+
+// Stats summarizes the constraint violations of a shot configuration.
+type Stats struct {
+	Cost    float64 // Σ |Itot − ρ| over failing pixels (paper Eq. 5)
+	FailOn  int     // failing pixels in Pon (dose too low)
+	FailOff int     // failing pixels in Poff (dose too high)
+}
+
+// Fail returns the total number of failing pixels.
+func (s Stats) Fail() int { return s.FailOn + s.FailOff }
+
+// Feasible reports whether no pixel fails.
+func (s Stats) Feasible() bool { return s.Fail() == 0 }
+
+// Evaluate computes the violation statistics of an arbitrary shot set
+// from scratch.
+func (p *Problem) Evaluate(shots []geom.Rect) Stats {
+	dose := p.Model.DoseMap(p.Grid, shots)
+	return p.statsOf(dose)
+}
+
+// statsOf scans a dose field against the pixel classes.
+func (p *Problem) statsOf(dose *raster.Field) Stats {
+	var st Stats
+	rho := p.Params.Rho
+	for k, c := range p.Class {
+		v := dose.V[k]
+		switch c {
+		case On:
+			if v < rho {
+				st.FailOn++
+				st.Cost += rho - v
+			}
+		case Off:
+			if v >= rho {
+				st.FailOff++
+				st.Cost += v - rho
+			}
+		}
+	}
+	return st
+}
+
+// pixelCost returns the Eq. 5 contribution of pixel k at dose v.
+func (p *Problem) pixelCost(k int, v float64) float64 {
+	switch p.Class[k] {
+	case On:
+		if v < p.Params.Rho {
+			return p.Params.Rho - v
+		}
+	case Off:
+		if v >= p.Params.Rho {
+			return v - p.Params.Rho
+		}
+	}
+	return 0
+}
+
+// Eval tracks a shot configuration and its dose field incrementally, so
+// heuristics can score local modifications without full re-simulation.
+type Eval struct {
+	P     *Problem
+	Shots []geom.Rect
+	Dose  *raster.Field
+}
+
+// NewEval returns an evaluator seeded with the given shots.
+func NewEval(p *Problem, shots []geom.Rect) *Eval {
+	e := &Eval{P: p, Dose: raster.NewField(p.Grid)}
+	for _, s := range shots {
+		e.Add(s)
+	}
+	return e
+}
+
+// Add appends shot s and accumulates its dose.
+func (e *Eval) Add(s geom.Rect) {
+	e.Shots = append(e.Shots, s)
+	e.P.Model.AccumulateShot(e.Dose, s, 1)
+}
+
+// Remove deletes shot i (order not preserved) and subtracts its dose.
+func (e *Eval) Remove(i int) {
+	s := e.Shots[i]
+	e.P.Model.AccumulateShot(e.Dose, s, -1)
+	last := len(e.Shots) - 1
+	e.Shots[i] = e.Shots[last]
+	e.Shots = e.Shots[:last]
+}
+
+// SetShot replaces shot i with s, updating the dose field.
+func (e *Eval) SetShot(i int, s geom.Rect) {
+	e.P.Model.AccumulateShot(e.Dose, e.Shots[i], -1)
+	e.Shots[i] = s
+	e.P.Model.AccumulateShot(e.Dose, s, 1)
+}
+
+// Stats scans the current dose field and returns violation statistics.
+func (e *Eval) Stats() Stats { return e.P.statsOf(e.Dose) }
+
+// SnapshotShots returns a copy of the current shot list.
+func (e *Eval) SnapshotShots() []geom.Rect {
+	out := make([]geom.Rect, len(e.Shots))
+	copy(out, e.Shots)
+	return out
+}
+
+// DeltaCost returns the change in Eq. 5 cost if shot i were replaced by
+// repl, without modifying the evaluator. The computation is local: only
+// pixels whose dose changes (the union of the strips around moved edges)
+// are visited, which makes candidate scoring during shot refinement
+// cheap (paper §4.1).
+func (e *Eval) DeltaCost(i int, repl geom.Rect) float64 {
+	old := e.Shots[i]
+	if old == repl {
+		return 0
+	}
+	p := e.P
+	g := p.Grid
+	sup := p.Model.Support()
+
+	// x-interval and y-interval where the separable profiles differ
+	xLo, xHi, xChanged := changedInterval(old.X0, old.X1, repl.X0, repl.X1, sup)
+	yLo, yHi, yChanged := changedInterval(old.Y0, old.Y1, repl.Y0, repl.Y1, sup)
+
+	// overall support box (union of both shots' support)
+	ubox := old.Union(repl).Inset(-sup)
+	ui0, uj0 := g.PixelOf(geom.Pt(ubox.X0, ubox.Y0))
+	ui1, uj1 := g.PixelOf(geom.Pt(ubox.X1, ubox.Y1))
+	ui0, uj0 = g.ClampX(ui0), g.ClampY(uj0)
+	ui1, uj1 = g.ClampX(ui1), g.ClampY(uj1)
+
+	delta := 0.0
+	model := p.Model
+	nc := model.Components()
+	eyOld := make([]float64, nc)
+	eyNew := make([]float64, nc)
+	scan := func(i0, j0, i1, j1 int) {
+		if i1 < i0 || j1 < j0 {
+			return
+		}
+		for j := j0; j <= j1; j++ {
+			y := g.Y0 + (float64(j)+0.5)*g.Pitch
+			for c := 0; c < nc; c++ {
+				eyOld[c] = model.EdgeComponent(c, y, old.Y0, old.Y1)
+				eyNew[c] = model.EdgeComponent(c, y, repl.Y0, repl.Y1)
+			}
+			base := j * g.W
+			for i := i0; i <= i1; i++ {
+				k := base + i
+				if p.Class[k] == Band {
+					continue
+				}
+				x := g.X0 + (float64(i)+0.5)*g.Pitch
+				dI := 0.0
+				for c := 0; c < nc; c++ {
+					dI += model.Weight(c) * (model.EdgeComponent(c, x, repl.X0, repl.X1)*eyNew[c] -
+						model.EdgeComponent(c, x, old.X0, old.X1)*eyOld[c])
+				}
+				if dI == 0 {
+					continue
+				}
+				v := e.Dose.V[k]
+				delta += p.pixelCost(k, v+dI) - p.pixelCost(k, v)
+			}
+		}
+	}
+	if xChanged && yChanged {
+		// general move: scan the whole union support box
+		scan(ui0, uj0, ui1, uj1)
+		return delta
+	}
+	if xChanged {
+		// vertical strip only
+		i0, _ := g.PixelOf(geom.Pt(xLo, 0))
+		i1, _ := g.PixelOf(geom.Pt(xHi, 0))
+		scan(maxI(g.ClampX(i0), ui0), uj0, minI(g.ClampX(i1), ui1), uj1)
+		return delta
+	}
+	if yChanged {
+		_, j0 := g.PixelOf(geom.Pt(0, yLo))
+		_, j1 := g.PixelOf(geom.Pt(0, yHi))
+		scan(ui0, maxI(g.ClampY(j0), uj0), ui1, minI(g.ClampY(j1), uj1))
+		return delta
+	}
+	return 0
+}
+
+// changedInterval returns the coordinate interval over which the 1D
+// edge profile of [a0,a1] differs from that of [b0,b1], padded by the
+// kernel support.
+func changedInterval(a0, a1, b0, b1, sup float64) (lo, hi float64, changed bool) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	if a0 != b0 {
+		lo = math.Min(a0, b0) - sup
+		hi = math.Max(a0, b0) + sup
+	}
+	if a1 != b1 {
+		lo = math.Min(lo, math.Min(a1, b1)-sup)
+		hi = math.Max(hi, math.Max(a1, b1)+sup)
+	}
+	return lo, hi, hi >= lo
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// FailingBitmaps returns bitmaps of the failing Pon and Poff pixels of
+// the current configuration, used by the shot addition/removal steps
+// (paper §4.3–4.4).
+func (e *Eval) FailingBitmaps() (failOn, failOff *raster.Bitmap) {
+	p := e.P
+	failOn = raster.NewBitmap(p.Grid)
+	failOff = raster.NewBitmap(p.Grid)
+	rho := p.Params.Rho
+	for k, c := range p.Class {
+		v := e.Dose.V[k]
+		switch c {
+		case On:
+			if v < rho {
+				failOn.Bits[k] = true
+			}
+		case Off:
+			if v >= rho {
+				failOff.Bits[k] = true
+			}
+		}
+	}
+	return failOn, failOff
+}

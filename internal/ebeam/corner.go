@@ -1,0 +1,105 @@
+package ebeam
+
+import (
+	"math"
+
+	"maskfrac/internal/geom"
+)
+
+// Corner rounding (paper Fig 2). Near the corner of a large shot the
+// printed dose contour Itot = ρ rounds off instead of following the
+// sharp 90° corner. Model-based fracturing exploits this: a 45° target
+// boundary segment can be written by the rounded corner of a single
+// shot, as long as the segment is no longer than Lth — the longest 45°
+// chord that the rounded contour tracks within the CD tolerance γ.
+//
+// We analyze a quarter-plane shot occupying {x ≤ 0, y ≤ 0} with its
+// ideal corner at the origin. Its intensity is I(x,y) = P(−x)·P(−y).
+// The iso-dose contour I = ρ runs along the edge y = 0 far from the
+// corner (x ≪ 0), pulls inside near the corner (the dose at the exact
+// corner is only ρ²·4... i.e. P(0)² = ¼ < ½), crosses the diagonal at
+// x = y = −P⁻¹(√ρ), and exits along the edge x = 0.
+
+// CornerContour returns sample points of the contour P(−x)·P(−y) = rho
+// for the quarter-plane shot, ordered by increasing x from the edge
+// regime (x ≈ −3σ, y ≈ 0) through the rounded corner to (x ≈ 0,
+// y ≈ −3σ). n is the number of samples.
+func (m *Model) CornerContour(rho float64, n int) []geom.Point {
+	if n < 2 {
+		n = 2
+	}
+	xMin := -m.Support()
+	xMax := -m.ProfileInv(rho) // beyond this P(−x) < rho and no solution
+	pts := make([]geom.Point, 0, n)
+	for i := 0; i < n; i++ {
+		x := xMin + (xMax-xMin)*float64(i)/float64(n-1)
+		px := m.EdgeProfile(-x)
+		if px < rho || px <= 0 {
+			continue
+		}
+		q := rho / px
+		if q > 1 {
+			continue
+		}
+		pts = append(pts, geom.Pt(x, -m.ProfileInv(q)))
+	}
+	return pts
+}
+
+// CornerDepth returns the diagonal depth of corner rounding: the
+// distance from the ideal corner (origin) to the iso-dose contour along
+// the inward diagonal (−1,−1)/√2. On the diagonal P(−x)² = rho, so the
+// crossing is at x = y = −P⁻¹(√rho) and the depth is √2·P⁻¹(√rho).
+func (m *Model) CornerDepth(rho float64) float64 {
+	return math.Sqrt2 * math.Abs(m.ProfileInv(math.Sqrt(rho)))
+}
+
+// Lth returns the longest 45° line segment that a single shot corner can
+// write within CD tolerance gamma at dose threshold rho (paper Fig 2,
+// following the construction of the ICCAD'14 benchmarking work).
+//
+// In the rotated frame, the contour's inward diagonal depth
+// d(s) = −(x+y)/√2 (s the position along the 45° direction) is smallest
+// at the corner, d(0) = CornerDepth, and grows toward the edges. Placing
+// the target 45° line at offset CornerDepth + γ, the contour stays
+// within ±γ of the line while d(s) ≤ CornerDepth + 2γ. Lth is the
+// distance between the two symmetric contour points where d hits that
+// limit, found by bisection.
+func (m *Model) Lth(rho, gamma float64) float64 {
+	depth := m.CornerDepth(rho)
+	limit := depth + 2*gamma
+	// diagonal depth of the contour point parameterized by x
+	f := func(x float64) float64 {
+		px := m.EdgeProfile(-x)
+		if px < rho || px <= 0 {
+			return math.Inf(1)
+		}
+		q := rho / px
+		if q > 1 {
+			return math.Inf(1)
+		}
+		y := -m.ProfileInv(q)
+		return -(x + y) / math.Sqrt2
+	}
+	xPeak := -m.ProfileInv(math.Sqrt(rho)) // diagonal crossing, min depth
+	xEnd := -m.ProfileInv(rho)             // contour exits toward y = −support
+	if f(xEnd) <= limit {
+		// The whole corner region stays within tolerance; the 45°
+		// extent is capped by the kernel support.
+		return math.Abs(xEnd+m.Support()) * math.Sqrt2
+	}
+	lo, hi := xPeak, xEnd
+	for iter := 0; iter < 80; iter++ {
+		mid := (lo + hi) / 2
+		if f(mid) <= limit {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	xStar := (lo + hi) / 2
+	yStar := -m.ProfileInv(rho / m.EdgeProfile(-xStar))
+	// By symmetry the limit points are (x*, y*) and (y*, x*); their
+	// separation along the 45° direction (1,−1)/√2:
+	return math.Abs(xStar-yStar) * math.Sqrt2
+}

@@ -1,0 +1,258 @@
+// Package ebeam models the electron-beam proximity effect used in
+// model-based mask fracturing (paper §2).
+//
+// The paper's kernel is the single 2D Gaussian
+//
+//	G(x,y) = (1/πσ²)·exp(−(x²+y²)/σ²), truncated at radius 3σ,
+//
+// and the intensity of a rectangular shot s is Is = G ⋆ Rs. Because the
+// untruncated kernel is separable, the convolution has the closed form
+//
+//	Is(x,y) = E(x; x0, x1) · E(y; y0, y1)
+//	E(t; a, b) = ½[erf((t−a)/σ) − erf((t−b)/σ)] = P(t−a) − P(t−b)
+//	P(d) = ½(1 + erf(d/σ))
+//
+// with P the 1D edge profile, evaluated via a lookup table (the paper
+// also uses an LUT) and clamped to 0/1 beyond 3σ, which reproduces the
+// truncated kernel to better than 1e-4.
+//
+// The package also supports the standard two-Gaussian proximity-effect
+// model (forward scattering α plus backscatter β weighted by η):
+//
+//	PSF = [ (1/πα²)·e^(−r²/α²) + (η/πβ²)·e^(−r²/β²) ] / (1+η)
+//
+// whose shot intensity is the weighted sum of two separable terms.
+// NewModel builds the paper's single-Gaussian model; NewDoubleGaussian
+// builds the two-component model.
+package ebeam
+
+import (
+	"math"
+
+	"maskfrac/internal/geom"
+	"maskfrac/internal/raster"
+)
+
+// lutCells is the number of LUT samples across the [-3σ, 3σ] support of
+// each component's edge profile.
+const lutCells = 4096
+
+// component is one Gaussian term of the point spread function.
+type component struct {
+	sigma  float64
+	weight float64
+	lut    []float64 // P sampled on [-3σ, 3σ]
+	step   float64   // LUT sample spacing in nm
+}
+
+// Model is a fixed-dose e-beam proximity model: a weighted sum of
+// Gaussian components (one for the paper's model, two with backscatter).
+type Model struct {
+	comps   []component
+	support float64 // 3 × the largest component sigma
+}
+
+// NewModel returns the paper's proximity model with forward-scattering
+// range σ in nanometers (σ = 6.25 nm in the experiments).
+func NewModel(sigma float64) *Model {
+	if sigma <= 0 {
+		panic("ebeam: sigma must be positive")
+	}
+	return &Model{
+		comps:   []component{newComponent(sigma, 1)},
+		support: 3 * sigma,
+	}
+}
+
+// NewDoubleGaussian returns the two-Gaussian proximity model with
+// forward range alpha, backscatter range beta and backscatter ratio
+// eta. alpha < beta is expected; eta = 0 degenerates to NewModel(alpha).
+func NewDoubleGaussian(alpha, beta, eta float64) *Model {
+	if alpha <= 0 || beta <= 0 {
+		panic("ebeam: ranges must be positive")
+	}
+	if eta < 0 {
+		panic("ebeam: eta must be non-negative")
+	}
+	if eta == 0 {
+		return NewModel(alpha)
+	}
+	norm := 1 + eta
+	m := &Model{
+		comps: []component{
+			newComponent(alpha, 1/norm),
+			newComponent(beta, eta/norm),
+		},
+	}
+	m.support = 3 * math.Max(alpha, beta)
+	return m
+}
+
+// newComponent builds one Gaussian term with its LUT.
+func newComponent(sigma, weight float64) component {
+	c := component{sigma: sigma, weight: weight, step: 6 * sigma / lutCells}
+	c.lut = make([]float64, lutCells+1)
+	for i := range c.lut {
+		d := -3*sigma + float64(i)*c.step
+		c.lut[i] = 0.5 * (1 + math.Erf(d/sigma))
+	}
+	return c
+}
+
+// Sigma returns the forward-scattering range (the first component's σ).
+func (m *Model) Sigma() float64 { return m.comps[0].sigma }
+
+// Components returns the number of Gaussian terms (1 or 2).
+func (m *Model) Components() int { return len(m.comps) }
+
+// Weight returns the dose weight of component c.
+func (m *Model) Weight(c int) float64 { return m.comps[c].weight }
+
+// Support returns the truncation radius (3× the widest component's σ):
+// a shot's intensity is treated as zero farther than this from the shot.
+func (m *Model) Support() float64 { return m.support }
+
+// profile evaluates one component's edge profile from its LUT with
+// linear interpolation, clamped to {0, 1} beyond 3σ.
+func (c *component) profile(d float64) float64 {
+	if d <= -3*c.sigma {
+		return 0
+	}
+	if d >= 3*c.sigma {
+		return 1
+	}
+	u := (d + 3*c.sigma) / c.step
+	i := int(u)
+	if i >= lutCells {
+		i = lutCells - 1
+	}
+	frac := u - float64(i)
+	return c.lut[i]*(1-frac) + c.lut[i+1]*frac
+}
+
+// EdgeProfileExact returns the combined profile without LUTs, for
+// reference and tests.
+func (m *Model) EdgeProfileExact(d float64) float64 {
+	total := 0.0
+	for _, c := range m.comps {
+		total += c.weight * 0.5 * (1 + math.Erf(d/c.sigma))
+	}
+	return total
+}
+
+// EdgeProfile returns the combined 1D edge profile P(d): the intensity
+// at signed distance d from an isolated straight shot edge (positive d
+// inside the shot).
+func (m *Model) EdgeProfile(d float64) float64 {
+	total := 0.0
+	for i := range m.comps {
+		total += m.comps[i].weight * m.comps[i].profile(d)
+	}
+	return total
+}
+
+// ProfileInv returns the signed distance d such that EdgeProfile(d) = v,
+// for v in (0, 1), by bisection on the monotone combined profile.
+// Values at or beyond the clamp return ±Support.
+func (m *Model) ProfileInv(v float64) float64 {
+	lo, hi := -m.support, m.support
+	if v <= m.EdgeProfile(lo) {
+		return lo
+	}
+	if v >= m.EdgeProfile(hi) {
+		return hi
+	}
+	for iter := 0; iter < 60; iter++ {
+		mid := (lo + hi) / 2
+		if m.EdgeProfile(mid) <= v {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Edge returns the combined E(t; a, b) = P(t−a) − P(t−b): the 1D
+// intensity cross section of an infinitely tall shot spanning [a, b].
+// NOTE: for multi-component models the 2D shot intensity is NOT
+// Edge(x)·Edge(y); use ShotIntensity or EdgeComponent per component.
+func (m *Model) Edge(t, a, b float64) float64 {
+	return m.EdgeProfile(t-a) - m.EdgeProfile(t-b)
+}
+
+// EdgeComponent returns component c's E_c(t; a, b) = P_c(t−a) − P_c(t−b).
+func (m *Model) EdgeComponent(c int, t, a, b float64) float64 {
+	return m.comps[c].profile(t-a) - m.comps[c].profile(t-b)
+}
+
+// ShotIntensity returns Is(x, y) for shot rectangle s at point p:
+// Σ_c w_c · E_c(x)·E_c(y).
+func (m *Model) ShotIntensity(s geom.Rect, p geom.Point) float64 {
+	total := 0.0
+	for c := range m.comps {
+		ex := m.EdgeComponent(c, p.X, s.X0, s.X1)
+		if ex == 0 {
+			continue
+		}
+		ey := m.EdgeComponent(c, p.Y, s.Y0, s.Y1)
+		total += m.comps[c].weight * ex * ey
+	}
+	return total
+}
+
+// SupportBox returns the pixel-coordinate box (inclusive) of grid g that
+// a shot s can influence: s expanded by the support radius, clamped to
+// the grid.
+func (m *Model) SupportBox(g raster.Grid, s geom.Rect) (i0, j0, i1, j1 int) {
+	r := s.Inset(-m.Support())
+	i0, j0 = g.PixelOf(geom.Pt(r.X0, r.Y0))
+	i1, j1 = g.PixelOf(geom.Pt(r.X1, r.Y1))
+	return g.ClampX(i0), g.ClampY(j0), g.ClampX(i1), g.ClampY(j1)
+}
+
+// AccumulateShot adds sign × Is to the field f over the shot's support
+// box. sign is +1 to add a shot and −1 to remove it (fractional values
+// express variable dose). The separable form makes each component
+// O(W + H + box area) with two 1D profile passes.
+func (m *Model) AccumulateShot(f *raster.Field, s geom.Rect, sign float64) {
+	g := f.Grid
+	i0, j0, i1, j1 := m.SupportBox(g, s)
+	if i1 < i0 || j1 < j0 {
+		return
+	}
+	width := i1 - i0 + 1
+	ex := make([]float64, width)
+	ey := make([]float64, j1-j0+1)
+	for c := range m.comps {
+		for i := range ex {
+			x := g.X0 + (float64(i0+i)+0.5)*g.Pitch
+			ex[i] = m.EdgeComponent(c, x, s.X0, s.X1)
+		}
+		for j := range ey {
+			y := g.Y0 + (float64(j0+j)+0.5)*g.Pitch
+			ey[j] = m.EdgeComponent(c, y, s.Y0, s.Y1)
+		}
+		w := sign * m.comps[c].weight
+		for j := j0; j <= j1; j++ {
+			rowW := w * ey[j-j0]
+			if rowW == 0 {
+				continue
+			}
+			row := f.V[j*g.W : (j+1)*g.W]
+			for i := i0; i <= i1; i++ {
+				row[i] += rowW * ex[i-i0]
+			}
+		}
+	}
+}
+
+// DoseMap returns the total intensity field Itot = Σ Is over grid g for
+// the given shots.
+func (m *Model) DoseMap(g raster.Grid, shots []geom.Rect) *raster.Field {
+	f := raster.NewField(g)
+	for _, s := range shots {
+		m.AccumulateShot(f, s, 1)
+	}
+	return f
+}

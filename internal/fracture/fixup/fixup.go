@@ -1,0 +1,199 @@
+// Package fixup provides the greedy completion pass shared by the GSC
+// and MP baselines: covering residual failing interior pixels with
+// component bounding-box shots. Dictionary-driven methods cannot always
+// fix convex-corner residues exactly; this pass finishes the cover the
+// way a set-cover heuristic would, trying a few box variants per
+// component and picking the one with the best net effect.
+package fixup
+
+import (
+	"maskfrac/internal/cover"
+	"maskfrac/internal/geom"
+	"maskfrac/internal/raster"
+)
+
+// GreedyCover repeatedly adds the candidate shot with the best net
+// benefit — failing interior pixels fixed minus offPenalty × exterior
+// pixels newly pushed over the threshold — until the interior holds, no
+// candidate scores positive, or the shot cap is reached. This is the
+// core greedy set-cover loop; GSC uses it as its main phase and MP as a
+// completion phase.
+func GreedyCover(p *cover.Problem, e *cover.Eval, cands []geom.Rect, offPenalty float64, maxShots int) {
+	for len(e.Shots) < maxShots {
+		st := e.Stats()
+		if st.FailOn == 0 {
+			return
+		}
+		failOn, _ := e.FailingBitmaps()
+		best, bestScore := geom.Rect{}, 0.0
+		for _, c := range cands {
+			if score := ScoreCandidate(p, e, failOn, c, offPenalty); score > bestScore {
+				best, bestScore = c, score
+			}
+		}
+		if bestScore <= 0 {
+			return
+		}
+		e.Add(best)
+	}
+}
+
+// ScoreCandidate estimates the net benefit of adding candidate c:
+// failing interior pixels the shot would fix, minus a penalty for
+// exterior pixels it would push over the threshold.
+func ScoreCandidate(p *cover.Problem, e *cover.Eval, failOn *raster.Bitmap, c geom.Rect, offPenalty float64) float64 {
+	g := p.Grid
+	i0, j0, i1, j1 := p.Model.SupportBox(g, c)
+	fixed, broken := 0, 0
+	rho := p.Params.Rho
+	for j := j0; j <= j1; j++ {
+		y := g.Y0 + (float64(j)+0.5)*g.Pitch
+		base := j * g.W
+		for i := i0; i <= i1; i++ {
+			k := base + i
+			cls := p.Class[k]
+			if cls == cover.Band {
+				continue
+			}
+			x := g.X0 + (float64(i)+0.5)*g.Pitch
+			inc := p.Model.ShotIntensity(c, geom.Pt(x, y))
+			if inc < 1e-4 {
+				continue
+			}
+			v := e.Dose.V[k]
+			switch cls {
+			case cover.On:
+				if failOn.Bits[k] && v+inc >= rho {
+					fixed++
+				}
+			case cover.Off:
+				if v < rho && v+inc >= rho {
+					broken++
+				}
+			}
+		}
+	}
+	return float64(fixed) - offPenalty*float64(broken)
+}
+
+// Patch adds shots over failing interior pixel components until the
+// interior constraints hold, the shot cap is reached, or no variant
+// makes progress.
+func Patch(p *cover.Problem, e *cover.Eval, maxShots int) {
+	for len(e.Shots) < maxShots {
+		st := e.Stats()
+		if st.FailOn == 0 {
+			return
+		}
+		failOn, _ := e.FailingBitmaps()
+		labels := raster.ConnectedComponents(failOn)
+		boxes := labels.Boxes()
+		bestIdx, bestCount := -1, 0
+		for i, b := range boxes {
+			if b.Count > bestCount {
+				bestIdx, bestCount = i, b.Count
+			}
+		}
+		if bestIdx < 0 {
+			return
+		}
+		base := boxRect(p, boxes[bestIdx])
+		// try the box and slightly grown/shrunk variants, keep the one
+		// with the best net fail reduction
+		bestRect, bestFail := geom.Rect{}, st.Fail()
+		for _, r := range []geom.Rect{base, base.Inset(-p.Params.Pitch), base.Inset(p.Params.Pitch)} {
+			r = legalize(p, r)
+			e.Add(r)
+			if f := e.Stats().Fail(); f < bestFail {
+				bestRect, bestFail = r, f
+			}
+			e.Remove(len(e.Shots) - 1)
+		}
+		if bestRect.Empty() {
+			return // nothing helps
+		}
+		e.Add(bestRect)
+	}
+}
+
+// boxRect converts a pixel component box to a world rectangle.
+func boxRect(p *cover.Problem, b raster.ComponentBox) geom.Rect {
+	g := p.Grid
+	return geom.Rect{
+		X0: g.X0 + float64(b.I0)*g.Pitch,
+		Y0: g.Y0 + float64(b.J0)*g.Pitch,
+		X1: g.X0 + float64(b.I1+1)*g.Pitch,
+		Y1: g.Y0 + float64(b.J1+1)*g.Pitch,
+	}
+}
+
+// legalize grows r symmetrically to the minimum shot size if needed.
+func legalize(p *cover.Problem, r geom.Rect) geom.Rect {
+	lmin := p.Params.Lmin
+	if r.W() < lmin {
+		c := (r.X0 + r.X1) / 2
+		r.X0, r.X1 = c-lmin/2, c+lmin/2
+	}
+	if r.H() < lmin {
+		c := (r.Y0 + r.Y1) / 2
+		r.Y0, r.Y1 = c-lmin/2, c+lmin/2
+	}
+	return r
+}
+
+// EdgeAdjust runs a bounded greedy edge-adjustment loop: each sweep
+// tries moving every edge of every shot by ±Δp and applies the best
+// cost-reducing move per shot. Used by baselines to repair dose
+// violations (typically boundary overdose) without the full refinement
+// machinery of the paper's method. Returns the best configuration seen.
+func EdgeAdjust(p *cover.Problem, e *cover.Eval, sweeps int) {
+	best := e.SnapshotShots()
+	bestFail := e.Stats().Fail()
+	pitch := p.Params.Pitch
+	for iter := 0; iter < sweeps && bestFail > 0; iter++ {
+		improved := false
+		for i := range e.Shots {
+			r := e.Shots[i]
+			bestDelta, bestRect := -1e-12, geom.Rect{}
+			for s := 0; s < 4; s++ {
+				for _, d := range []float64{pitch, -pitch} {
+					nr := r
+					switch s {
+					case 0:
+						nr.X0 += d
+					case 1:
+						nr.X1 += d
+					case 2:
+						nr.Y0 += d
+					case 3:
+						nr.Y1 += d
+					}
+					if !p.MinSizeOK(nr) {
+						continue
+					}
+					if delta := e.DeltaCost(i, nr); delta < bestDelta {
+						bestDelta, bestRect = delta, nr
+					}
+				}
+			}
+			if bestDelta < -1e-12 {
+				e.SetShot(i, bestRect)
+				improved = true
+			}
+		}
+		if f := e.Stats().Fail(); f < bestFail {
+			best = e.SnapshotShots()
+			bestFail = f
+		}
+		if !improved {
+			break
+		}
+	}
+	// restore the best configuration seen
+	for len(e.Shots) > 0 {
+		e.Remove(0)
+	}
+	for _, s := range best {
+		e.Add(s)
+	}
+}

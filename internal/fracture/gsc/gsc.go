@@ -1,0 +1,48 @@
+// Package gsc implements the greedy set cover baseline for model-based
+// mask fracturing (Jiang & Zakhor, "Shot overlap model-based fracturing
+// for edge-based OPC layouts"), one of the heuristics the paper
+// benchmarks against (Tables 2/3, heuristic "GSC").
+//
+// A dictionary of candidate shots is enumerated from the maximal
+// inscribed rectangles of the rasterized target (plus biased variants).
+// Shots are picked greedily by net dose benefit; a looser second pass
+// and a component-box patch pass finish residues the dictionary cannot
+// express exactly.
+package gsc
+
+import (
+	"maskfrac/internal/cover"
+	"maskfrac/internal/fracture/fixup"
+	"maskfrac/internal/fracture/shotdict"
+	"maskfrac/internal/geom"
+)
+
+// Options tune the baseline.
+type Options struct {
+	MaxShots   int     // shot cap (default 200)
+	OffPenalty float64 // weight of new exterior violations (default 4)
+}
+
+// Result is the outcome of the GSC baseline.
+type Result struct {
+	Shots []geom.Rect
+	Stats cover.Stats
+}
+
+// Fracture runs greedy set cover on the problem.
+func Fracture(p *cover.Problem, opt Options) *Result {
+	if opt.MaxShots == 0 {
+		opt.MaxShots = 200
+	}
+	if opt.OffPenalty == 0 {
+		opt.OffPenalty = 4
+	}
+	cands := shotdict.Candidates(p)
+	e := cover.NewEval(p, nil)
+	fixup.GreedyCover(p, e, cands, opt.OffPenalty, opt.MaxShots)
+	// second chance with a looser penalty, then box patching
+	fixup.GreedyCover(p, e, cands, 1, opt.MaxShots)
+	fixup.Patch(p, e, opt.MaxShots)
+	fixup.EdgeAdjust(p, e, 40)
+	return &Result{Shots: e.SnapshotShots(), Stats: e.Stats()}
+}

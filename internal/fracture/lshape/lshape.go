@@ -1,0 +1,213 @@
+// Package lshape implements L-shape based layout fracturing (Yu, Gao &
+// Pan, ASP-DAC 2013 — the paper's reference [20]): e-beam tools with an
+// L-shaped aperture can expose an L-shaped region in a single shot, so
+// a rectangle partition whose pieces pair up into L-shapes halves the
+// shot count in the best case.
+//
+// The pipeline: minimum rectangle partition → build the L-compatibility
+// graph (two rectangles merge into an L exactly when they share a
+// boundary edge and align at exactly one end, giving a 6-vertex union)
+// → maximum pairing via greedy maximal matching → one shot per pair,
+// one per leftover rectangle.
+//
+// This is the "non-rectangular shots" extension the paper cites and
+// deliberately leaves out (fixed-dose rectangles need no tool change);
+// it is provided here as an optional fracturing mode.
+package lshape
+
+import (
+	"fmt"
+
+	"maskfrac/internal/cover"
+	"maskfrac/internal/fracture/partition"
+	"maskfrac/internal/geom"
+	"maskfrac/internal/raster"
+)
+
+// Shot is a single e-beam exposure: either one rectangle (B empty) or
+// an L-shape written as one shot (A and B share an edge and align at
+// exactly one end).
+type Shot struct {
+	A geom.Rect
+	B geom.Rect // zero Rect when the shot is a plain rectangle
+}
+
+// IsL reports whether the shot is an L-shape.
+func (s Shot) IsL() bool { return !s.B.Empty() }
+
+// Rects returns the rectangle decomposition of the shot.
+func (s Shot) Rects() []geom.Rect {
+	if s.IsL() {
+		return []geom.Rect{s.A, s.B}
+	}
+	return []geom.Rect{s.A}
+}
+
+// Result is the outcome of L-shape fracturing.
+type Result struct {
+	Shots     []Shot
+	RectCount int // rectangles before pairing
+	Stats     cover.Stats
+}
+
+// ShotCount returns the number of e-beam shots (pairs count once).
+func (r *Result) ShotCount() int { return len(r.Shots) }
+
+// Fracture partitions the target and pairs rectangles into L-shots.
+// Curvilinear targets are rectilinearized on the sampling grid first.
+func Fracture(p *cover.Problem) (*Result, error) {
+	var pieces []geom.Polygon
+	rectilinear := true
+	for _, t := range p.Targets {
+		if !t.IsRectilinear() {
+			rectilinear = false
+			break
+		}
+	}
+	if rectilinear {
+		pieces = p.Targets
+	} else {
+		// rectilinearize on a coarse fracture grid, as a conventional
+		// tool would (pixel-level staircasing would explode the count)
+		coarse := raster.GridCovering(p.TargetBounds(), 4, 4)
+		bm := raster.NewBitmap(coarse)
+		for _, t := range p.Targets {
+			one, err := raster.Rasterize(t, coarse)
+			if err != nil {
+				return nil, fmt.Errorf("lshape: %w", err)
+			}
+			for k, v := range one.Bits {
+				if v {
+					bm.Bits[k] = true
+				}
+			}
+		}
+		for _, pg := range raster.Contours(bm) {
+			if pg.IsCCW() {
+				pieces = append(pieces, pg)
+			}
+		}
+		if len(pieces) == 0 {
+			return nil, fmt.Errorf("lshape: target rasterizes to nothing")
+		}
+	}
+	var rects []geom.Rect
+	for _, piece := range pieces {
+		rs, err := partition.Minimum(piece)
+		if err != nil {
+			return nil, fmt.Errorf("lshape: %w", err)
+		}
+		rects = append(rects, rs...)
+	}
+	shots := Pair(rects)
+	flat := make([]geom.Rect, 0, len(rects))
+	for _, s := range shots {
+		flat = append(flat, s.Rects()...)
+	}
+	return &Result{Shots: shots, RectCount: len(rects), Stats: p.Evaluate(flat)}, nil
+}
+
+// Pair greedily matches rectangles whose union is an L-shape and
+// returns the resulting shot list. Pairing order prefers the largest
+// combined area first, a simple heuristic that tends to pair long
+// slivers with their neighbors.
+func Pair(rects []geom.Rect) []Shot {
+	type cand struct {
+		i, j int
+		area float64
+	}
+	var cands []cand
+	for i := 0; i < len(rects); i++ {
+		for j := i + 1; j < len(rects); j++ {
+			if UnionIsL(rects[i], rects[j]) {
+				cands = append(cands, cand{i, j, rects[i].Area() + rects[j].Area()})
+			}
+		}
+	}
+	// sort by descending combined area (insertion sort; candidate lists
+	// are small)
+	for a := 1; a < len(cands); a++ {
+		for b := a; b > 0 && cands[b].area > cands[b-1].area; b-- {
+			cands[b], cands[b-1] = cands[b-1], cands[b]
+		}
+	}
+	used := make([]bool, len(rects))
+	var shots []Shot
+	for _, c := range cands {
+		if used[c.i] || used[c.j] {
+			continue
+		}
+		used[c.i], used[c.j] = true, true
+		shots = append(shots, Shot{A: rects[c.i], B: rects[c.j]})
+	}
+	for i, r := range rects {
+		if !used[i] {
+			shots = append(shots, Shot{A: r})
+		}
+	}
+	return shots
+}
+
+// UnionIsL reports whether the union of two interior-disjoint
+// rectangles is an L-shape: they share a boundary segment and align at
+// exactly one end, so the union polygon has six vertices.
+func UnionIsL(a, b geom.Rect) bool {
+	if a.Overlaps(b) {
+		return false
+	}
+	switch {
+	case a.X1 == b.X0 || b.X1 == a.X0: // vertically running shared edge
+		lo := maxF(a.Y0, b.Y0)
+		hi := minF(a.Y1, b.Y1)
+		if hi <= lo {
+			return false // touch at a corner or not at all
+		}
+		// shared segment must span the full side of at least one rect,
+		// with exactly one aligned end
+		aligned := 0
+		if a.Y0 == b.Y0 {
+			aligned++
+		}
+		if a.Y1 == b.Y1 {
+			aligned++
+		}
+		if aligned != 1 {
+			return false
+		}
+		// the shorter rect's side must be fully shared (otherwise the
+		// union has 8 vertices)
+		return hi-lo == minF(a.H(), b.H())
+	case a.Y1 == b.Y0 || b.Y1 == a.Y0: // horizontally running shared edge
+		lo := maxF(a.X0, b.X0)
+		hi := minF(a.X1, b.X1)
+		if hi <= lo {
+			return false
+		}
+		aligned := 0
+		if a.X0 == b.X0 {
+			aligned++
+		}
+		if a.X1 == b.X1 {
+			aligned++
+		}
+		if aligned != 1 {
+			return false
+		}
+		return hi-lo == minF(a.W(), b.W())
+	}
+	return false
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,153 @@
+package lshape
+
+import (
+	"testing"
+
+	"maskfrac/internal/cover"
+	"maskfrac/internal/geom"
+	"maskfrac/internal/shapegen"
+)
+
+func TestUnionIsL(t *testing.T) {
+	base := geom.Rect{X0: 0, Y0: 0, X1: 10, Y1: 4}
+	cases := []struct {
+		name string
+		b    geom.Rect
+		want bool
+	}{
+		{"L: right of base, bottom aligned, shorter", geom.Rect{X0: 10, Y0: 0, X1: 14, Y1: 2}, true},
+		{"L: above base, left aligned", geom.Rect{X0: 0, Y0: 4, X1: 4, Y1: 10}, true},
+		{"rect: full side both ends aligned", geom.Rect{X0: 10, Y0: 0, X1: 14, Y1: 4}, false},
+		{"T: centered, no end aligned", geom.Rect{X0: 10, Y0: 1, X1: 14, Y1: 3}, false},
+		{"Z: partial overlap", geom.Rect{X0: 10, Y0: 2, X1: 14, Y1: 6}, false},
+		{"corner touch only", geom.Rect{X0: 10, Y0: 4, X1: 14, Y1: 8}, false},
+		{"disjoint", geom.Rect{X0: 20, Y0: 0, X1: 24, Y1: 4}, false},
+		{"overlapping", geom.Rect{X0: 5, Y0: 0, X1: 14, Y1: 4}, false},
+		{"sticking beyond, one end aligned", geom.Rect{X0: 10, Y0: 0, X1: 14, Y1: 8}, true},
+	}
+	for _, tc := range cases {
+		if got := UnionIsL(base, tc.b); got != tc.want {
+			t.Errorf("%s: UnionIsL = %v, want %v", tc.name, got, tc.want)
+		}
+		// symmetric
+		if got := UnionIsL(tc.b, base); got != tc.want {
+			t.Errorf("%s (swapped): UnionIsL = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestPairSimpleL(t *testing.T) {
+	rects := []geom.Rect{
+		{X0: 0, Y0: 0, X1: 10, Y1: 4},
+		{X0: 0, Y0: 4, X1: 4, Y1: 10},
+	}
+	shots := Pair(rects)
+	if len(shots) != 1 || !shots[0].IsL() {
+		t.Fatalf("L pair not formed: %+v", shots)
+	}
+	if got := shots[0].Rects(); len(got) != 2 {
+		t.Errorf("Rects = %v", got)
+	}
+}
+
+func TestPairLeftover(t *testing.T) {
+	rects := []geom.Rect{
+		{X0: 0, Y0: 0, X1: 10, Y1: 4},
+		{X0: 0, Y0: 4, X1: 4, Y1: 10},
+		{X0: 50, Y0: 50, X1: 60, Y1: 60}, // isolated
+	}
+	shots := Pair(rects)
+	if len(shots) != 2 {
+		t.Fatalf("shots = %d, want 2", len(shots))
+	}
+	lCount, rectCount := 0, 0
+	for _, s := range shots {
+		if s.IsL() {
+			lCount++
+		} else {
+			rectCount++
+		}
+	}
+	if lCount != 1 || rectCount != 1 {
+		t.Errorf("composition = %dL %dR", lCount, rectCount)
+	}
+}
+
+func TestPairNeverReusesRect(t *testing.T) {
+	// a plus-sign partition: center bar pairs with at most one arm
+	rects := []geom.Rect{
+		{X0: 0, Y0: 4, X1: 12, Y1: 8}, // horizontal bar
+		{X0: 4, Y0: 0, X1: 8, Y1: 4},  // bottom arm
+		{X0: 4, Y0: 8, X1: 8, Y1: 12}, // top arm
+	}
+	shots := Pair(rects)
+	total := 0
+	for _, s := range shots {
+		total += len(s.Rects())
+	}
+	if total != 3 {
+		t.Errorf("rects used %d times, want 3", total)
+	}
+}
+
+func TestFractureLShapeTarget(t *testing.T) {
+	// an L target: 2 rectangles, 1 L-shot
+	pg := geom.Polygon{
+		geom.Pt(0, 0), geom.Pt(120, 0), geom.Pt(120, 50),
+		geom.Pt(50, 50), geom.Pt(50, 120), geom.Pt(0, 120),
+	}
+	p, err := cover.NewProblem(pg, cover.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Fracture(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RectCount != 2 {
+		t.Errorf("RectCount = %d", res.RectCount)
+	}
+	if res.ShotCount() != 1 {
+		t.Errorf("ShotCount = %d, want 1 (one L-shot)", res.ShotCount())
+	}
+	// non-model-based fracture: corner rounding violations only
+	if res.Stats.FailOff != 0 {
+		t.Errorf("overdose from a partition-based fracture: %+v", res.Stats)
+	}
+}
+
+func TestFractureReducesShotsVsPartition(t *testing.T) {
+	// staircase: every adjacent pair is L-compatible, so pairing should
+	// save shots
+	pg := geom.Polygon{
+		geom.Pt(0, 0), geom.Pt(80, 0), geom.Pt(80, 20), geom.Pt(60, 20),
+		geom.Pt(60, 40), geom.Pt(40, 40), geom.Pt(40, 60), geom.Pt(20, 60),
+		geom.Pt(20, 80), geom.Pt(0, 80),
+	}
+	p, err := cover.NewProblem(pg, cover.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Fracture(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShotCount() >= res.RectCount {
+		t.Errorf("no pairing benefit: %d shots for %d rects", res.ShotCount(), res.RectCount)
+	}
+}
+
+func TestFractureCurvilinear(t *testing.T) {
+	sh := shapegen.ILTShape(101, 2)
+	p, err := cover.NewProblem(sh.Target, cover.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Fracture(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShotCount() == 0 || res.ShotCount() > res.RectCount {
+		t.Errorf("shots=%d rects=%d", res.ShotCount(), res.RectCount)
+	}
+}

@@ -1,0 +1,114 @@
+// Package mbf implements the paper's model-based mask fracturing method
+// (Kagalwalla & Gupta, DAC 2015): graph-coloring-based approximate
+// fracturing (§3) followed by iterative shot refinement (§4).
+//
+// Pipeline:
+//
+//  1. Approximate the target boundary with Ramer–Douglas–Peucker (tolerance γ).
+//  2. Extract typed shot corner points from the approximate boundary,
+//     exploiting e-beam corner rounding for diagonal segments (Lth).
+//  3. Cluster nearby same-type corner points.
+//  4. Build the corner compatibility graph; every clique is a candidate
+//     shot. Solve minimum clique partition by greedy coloring of the
+//     inverse graph.
+//  5. Reconstruct one shot per color class, extending under-constrained
+//     shots to the opposite target boundary (Fig 4).
+//  6. Iteratively refine: greedy shot edge adjustment with 2σ blocking,
+//     bias-all-shots, shot addition/removal and shot merging until all
+//     CD violations are fixed or the iteration budget is exhausted.
+package mbf
+
+import (
+	"maskfrac/internal/cover"
+	"maskfrac/internal/geom"
+	"maskfrac/internal/graphx"
+)
+
+// Options tune the method. The zero value of each field selects the
+// paper's setting (applied by Fracture); the Disable* switches exist for
+// the ablation benchmarks.
+type Options struct {
+	Nmax        int          // max refinement iterations (default 3000)
+	NH          int          // non-improving iterations before add/remove (default 5)
+	Order       graphx.Order // coloring order (default Sequential, as in the paper)
+	RDPTol      float64      // boundary approximation tolerance (default γ)
+	OverlapFrac float64      // test-shot interior fraction for graph edges (default 0.8)
+	MergeFrac   float64      // merged-shot interior fraction (default 0.9)
+
+	DisableRDP        bool // ablation: skip boundary approximation
+	DisableClustering bool // ablation: skip corner clustering
+	DisableMerge      bool // ablation: skip shot merging
+	DisableBias       bool // ablation: skip bias-all-shots
+	DisableBlocking   bool // ablation: skip the 2σ edge blocking
+	SkipRefinement    bool // stop after the coloring stage (initial solution)
+	Trace             bool // debug: print refinement progress
+}
+
+// withDefaults fills unset options with the paper's settings.
+func (o Options) withDefaults(p *cover.Problem) Options {
+	if o.Nmax == 0 {
+		o.Nmax = 3000
+	}
+	if o.NH == 0 {
+		o.NH = 5
+	}
+	if o.RDPTol == 0 {
+		o.RDPTol = p.Params.Gamma
+	}
+	if o.OverlapFrac == 0 {
+		o.OverlapFrac = 0.8
+	}
+	if o.MergeFrac == 0 {
+		o.MergeFrac = 0.9
+	}
+	return o
+}
+
+// StageInfo reports statistics of the approximate fracturing stage,
+// used by the figure-reproduction benchmarks (Fig 1, Fig 3).
+type StageInfo struct {
+	VerticesIn       int     // target polygon vertices
+	VerticesRDP      int     // vertices after boundary approximation
+	CornersRaw       int     // corner points before clustering
+	Corners          int     // corner points after clustering
+	GraphEdges       int     // edges of the compatibility graph G
+	Colors           int     // colors used on the inverse graph
+	Lth              float64 // the 45° segment bound used
+	InitialShots     int     // shots after the coloring stage
+	RefineIterations int     // refinement iterations actually run
+}
+
+// Result is the outcome of model-based fracturing.
+type Result struct {
+	Shots   []geom.Rect // final shot set
+	Stats   cover.Stats // violations of Shots
+	Initial []geom.Rect // solution after the coloring stage, before refinement
+	Info    StageInfo
+}
+
+// ShotCount returns the number of shots in the final solution.
+func (r *Result) ShotCount() int { return len(r.Shots) }
+
+// Fracture runs the full method on a prepared problem.
+func Fracture(p *cover.Problem, opt Options) *Result {
+	opt = opt.withDefaults(p)
+	res := &Result{}
+	res.Info.VerticesIn = len(p.Target)
+
+	shots, info := approximateFracture(p, opt)
+	res.Initial = append([]geom.Rect(nil), shots...)
+	res.Info = info
+	res.Info.VerticesIn = len(p.Target)
+	res.Info.InitialShots = len(shots)
+
+	if opt.SkipRefinement {
+		res.Shots = shots
+		res.Stats = p.Evaluate(shots)
+		return res
+	}
+	final, iters := refine(p, shots, opt)
+	res.Shots = final
+	res.Stats = p.Evaluate(final)
+	res.Info.RefineIterations = iters
+	return res
+}

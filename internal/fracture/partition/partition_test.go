@@ -1,0 +1,292 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"maskfrac/internal/geom"
+	"maskfrac/internal/raster"
+)
+
+func poly(xy ...float64) geom.Polygon {
+	pg := make(geom.Polygon, len(xy)/2)
+	for i := range pg {
+		pg[i] = geom.Pt(xy[2*i], xy[2*i+1])
+	}
+	return pg
+}
+
+// checkPartition verifies that rects exactly tile pg: equal area,
+// pairwise disjoint interiors, and every rect inside the polygon.
+func checkPartition(t *testing.T, pg geom.Polygon, rects []geom.Rect) {
+	t.Helper()
+	total := 0.0
+	for _, r := range rects {
+		if r.Empty() {
+			t.Fatalf("empty rect %v in partition", r)
+		}
+		total += r.Area()
+	}
+	if math.Abs(total-pg.Area()) > 1e-6 {
+		t.Fatalf("partition area %v != polygon area %v", total, pg.Area())
+	}
+	for i := 0; i < len(rects); i++ {
+		for j := i + 1; j < len(rects); j++ {
+			if ov := rects[i].Intersect(rects[j]); !ov.Empty() {
+				t.Fatalf("rects %v and %v overlap", rects[i], rects[j])
+			}
+		}
+		if !pg.Contains(rects[i].Center()) {
+			t.Fatalf("rect %v center outside polygon", rects[i])
+		}
+	}
+}
+
+var (
+	square   = poly(0, 0, 10, 0, 10, 10, 0, 10)
+	lShape   = poly(0, 0, 8, 0, 8, 4, 4, 4, 4, 10, 0, 10)
+	uShape   = poly(0, 0, 12, 0, 12, 8, 8, 8, 8, 4, 4, 4, 4, 8, 0, 8)
+	plusSign = poly(4, 0, 8, 0, 8, 4, 12, 4, 12, 8, 8, 8, 8, 12, 4, 12, 4, 8, 0, 8, 0, 4, 4, 4)
+	// vertical bar [0,2]x[0,8] with a right bump [2,4]x[1,3] and a left
+	// bump [-2,0]x[5,7]: vertical chords give 3, horizontal sweep needs 5
+	barBumps = poly(0, 0, 2, 0, 2, 1, 4, 1, 4, 3, 2, 3, 2, 8, 0, 8, 0, 7, -2, 7, -2, 5, 0, 5)
+)
+
+func TestSweepSquare(t *testing.T) {
+	rects, err := Sweep(square)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rects) != 1 {
+		t.Errorf("square sweep = %d rects", len(rects))
+	}
+	checkPartition(t, square, rects)
+}
+
+func TestSweepL(t *testing.T) {
+	rects, err := Sweep(lShape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rects) != 2 {
+		t.Errorf("L sweep = %d rects, want 2", len(rects))
+	}
+	checkPartition(t, lShape, rects)
+}
+
+func TestSweepU(t *testing.T) {
+	rects, err := Sweep(uShape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rects) != 3 {
+		t.Errorf("U sweep = %d rects, want 3", len(rects))
+	}
+	checkPartition(t, uShape, rects)
+}
+
+func TestSweepMergesSlabs(t *testing.T) {
+	// bumps on left at different heights force slab cuts; the right
+	// column must still merge vertically
+	rects, err := Sweep(barBumps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, barBumps, rects)
+	if len(rects) > 5 {
+		t.Errorf("sweep = %d rects, want <= 5", len(rects))
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	if _, err := Sweep(poly(0, 0, 4, 0, 2, 3)); err == nil {
+		t.Error("non-rectilinear accepted")
+	}
+	if _, err := Sweep(poly(0, 0, 1, 0)); err == nil {
+		t.Error("degenerate accepted")
+	}
+}
+
+func TestReflexVertices(t *testing.T) {
+	if got := ReflexVertices(square.EnsureCCW()); len(got) != 0 {
+		t.Errorf("square reflex = %v", got)
+	}
+	l := lShape.EnsureCCW()
+	got := ReflexVertices(l)
+	if len(got) != 1 {
+		t.Fatalf("L reflex = %v", got)
+	}
+	if l[got[0]] != geom.Pt(4, 4) {
+		t.Errorf("L reflex at %v, want (4,4)", l[got[0]])
+	}
+	if got := ReflexVertices(plusSign.EnsureCCW()); len(got) != 4 {
+		t.Errorf("plus reflex count = %d, want 4", len(got))
+	}
+}
+
+func TestMinimumSquareAndL(t *testing.T) {
+	rects, err := Minimum(square)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rects) != 1 {
+		t.Errorf("square minimum = %d", len(rects))
+	}
+	rects, err = Minimum(lShape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rects) != 2 {
+		t.Errorf("L minimum = %d, want 2", len(rects))
+	}
+	checkPartition(t, lShape, rects)
+}
+
+func TestMinimumPlus(t *testing.T) {
+	// plus sign: 4 reflex, 2 independent chords -> 3 rects
+	rects, err := Minimum(plusSign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rects) != 3 {
+		t.Errorf("plus minimum = %d, want 3", len(rects))
+	}
+	checkPartition(t, plusSign, rects)
+}
+
+func TestMinimumBeatsSweepOnSideBumps(t *testing.T) {
+	sweep, err := Sweep(barBumps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, err := Minimum(barBumps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, barBumps, min)
+	if len(min) != 3 {
+		t.Errorf("minimum = %d rects, want 3 (bar + 2 bumps)", len(min))
+	}
+	if len(min) >= len(sweep) {
+		t.Errorf("minimum (%d) not better than sweep (%d)", len(min), len(sweep))
+	}
+}
+
+func TestMinimumU(t *testing.T) {
+	rects, err := Minimum(uShape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rects) != 3 {
+		t.Errorf("U minimum = %d, want 3", len(rects))
+	}
+	checkPartition(t, uShape, rects)
+}
+
+func TestMinimumClockwiseInput(t *testing.T) {
+	cw := lShape.EnsureCCW()
+	// reverse to clockwise
+	rev := make(geom.Polygon, len(cw))
+	for i, p := range cw {
+		rev[len(cw)-1-i] = p
+	}
+	rects, err := Minimum(rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rects) != 2 {
+		t.Errorf("cw L minimum = %d", len(rects))
+	}
+}
+
+func TestMinimumRandomStaircases(t *testing.T) {
+	// random rectilinear shapes from unions of rects, traced from a
+	// bitmap: Minimum must tile them exactly and use no more rects
+	// than Sweep
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		g := raster.Grid{Pitch: 1, W: 30, H: 30}
+		b := raster.NewBitmap(g)
+		n := 2 + rng.Intn(4)
+		for k := 0; k < n; k++ {
+			x0 := rng.Intn(20)
+			y0 := rng.Intn(20)
+			w := 4 + rng.Intn(10)
+			h := 4 + rng.Intn(10)
+			for j := y0; j < y0+h && j < 30; j++ {
+				for i := x0; i < x0+w && i < 30; i++ {
+					b.Set(i, j, true)
+				}
+			}
+		}
+		pg := raster.LargestContour(b)
+		if pg == nil || len(pg) < 4 {
+			continue
+		}
+		sweep, err := Sweep(pg)
+		if err != nil {
+			t.Fatalf("trial %d sweep: %v", trial, err)
+		}
+		min, err := Minimum(pg)
+		if err != nil {
+			t.Fatalf("trial %d minimum: %v", trial, err)
+		}
+		checkPartition(t, pg, min)
+		if len(min) > len(sweep) {
+			t.Errorf("trial %d: minimum %d > sweep %d", trial, len(min), len(sweep))
+		}
+		// theoretical optimum for hole-free: reflex - L + 1 <= reflex + 1
+		reflex := len(ReflexVertices(pg.EnsureCCW()))
+		if len(min) > reflex+1 {
+			t.Errorf("trial %d: minimum %d > reflex+1 = %d", trial, len(min), reflex+1)
+		}
+	}
+}
+
+func TestSweepVerticalMatchesTransposed(t *testing.T) {
+	rects, err := sweepVertical(barBumps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, barBumps, rects)
+	// vertical sweep on the side-bump shape is the efficient direction
+	if len(rects) > 3 {
+		t.Errorf("vertical sweep = %d rects, want <= 3", len(rects))
+	}
+}
+
+func TestMinSliverPrefersFewerSlivers(t *testing.T) {
+	// a tall thin notch: horizontal sweeping creates a thin slab,
+	// vertical cutting keeps pieces wide
+	pg := poly(0, 0, 40, 0, 40, 40, 24, 40, 24, 38, 16, 38, 16, 40, 0, 40)
+	min, err := Minimum(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := MinSliver(pg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, pg, ms)
+	if countSlivers(ms, 6) > countSlivers(min, 6) {
+		t.Errorf("MinSliver has %d slivers vs Minimum's %d",
+			countSlivers(ms, 6), countSlivers(min, 6))
+	}
+}
+
+func TestMinSliverErrors(t *testing.T) {
+	if _, err := MinSliver(poly(0, 0, 4, 0, 2, 3), 5); err == nil {
+		t.Error("non-rectilinear accepted")
+	}
+}
+
+func TestCountSlivers(t *testing.T) {
+	rects := []geom.Rect{
+		{X0: 0, Y0: 0, X1: 100, Y1: 2},
+		{X0: 0, Y0: 0, X1: 10, Y1: 10},
+	}
+	if got := countSlivers(rects, 5); got != 1 {
+		t.Errorf("countSlivers = %d", got)
+	}
+}

@@ -1,0 +1,193 @@
+package shotdict
+
+import (
+	"testing"
+
+	"maskfrac/internal/cover"
+	"maskfrac/internal/geom"
+	"maskfrac/internal/raster"
+)
+
+func bitmapOf(w, h int, rects ...geom.Rect) *raster.Bitmap {
+	g := raster.Grid{Pitch: 1, W: w, H: h}
+	b := raster.NewBitmap(g)
+	for j := 0; j < h; j++ {
+		for i := 0; i < w; i++ {
+			c := g.Center(i, j)
+			for _, r := range rects {
+				if r.Contains(c) {
+					b.Bits[g.Index(i, j)] = true
+					break
+				}
+			}
+		}
+	}
+	return b
+}
+
+func TestMaximalRectsSingle(t *testing.T) {
+	b := bitmapOf(20, 20, geom.Rect{X0: 3, Y0: 4, X1: 13, Y1: 10})
+	rects := MaximalRects(b)
+	if len(rects) != 1 {
+		t.Fatalf("rect count = %d: %v", len(rects), rects)
+	}
+	if rects[0] != (geom.Rect{X0: 3, Y0: 4, X1: 13, Y1: 10}) {
+		t.Errorf("rect = %v", rects[0])
+	}
+}
+
+func TestMaximalRectsLShape(t *testing.T) {
+	// L-shape: exactly two maximal rects (full-width bottom, full-height left)
+	b := bitmapOf(20, 20,
+		geom.Rect{X0: 0, Y0: 0, X1: 16, Y1: 6},
+		geom.Rect{X0: 0, Y0: 0, X1: 6, Y1: 16})
+	rects := MaximalRects(b)
+	if len(rects) != 2 {
+		t.Fatalf("rect count = %d: %v", len(rects), rects)
+	}
+	want := map[geom.Rect]bool{
+		{X0: 0, Y0: 0, X1: 16, Y1: 6}: true,
+		{X0: 0, Y0: 0, X1: 6, Y1: 16}: true,
+	}
+	for _, r := range rects {
+		if !want[r] {
+			t.Errorf("unexpected maximal rect %v", r)
+		}
+	}
+}
+
+func TestMaximalRectsCross(t *testing.T) {
+	// plus sign: three maximal rects (horizontal bar, vertical bar, center square is dominated)
+	b := bitmapOf(20, 20,
+		geom.Rect{X0: 0, Y0: 7, X1: 18, Y1: 12},
+		geom.Rect{X0: 7, Y0: 0, X1: 12, Y1: 18})
+	rects := MaximalRects(b)
+	if len(rects) != 2 {
+		t.Fatalf("rect count = %d: %v", len(rects), rects)
+	}
+}
+
+func TestMaximalRectsAllMaximal(t *testing.T) {
+	// every reported rect must be fully inside and not extensible
+	b := bitmapOf(18, 18,
+		geom.Rect{X0: 1, Y0: 1, X1: 9, Y1: 12},
+		geom.Rect{X0: 6, Y0: 5, X1: 16, Y1: 10})
+	g := b.Grid
+	inside := func(r geom.Rect) bool {
+		for j := 0; j < g.H; j++ {
+			for i := 0; i < g.W; i++ {
+				c := g.Center(i, j)
+				if r.Contains(c) && c.X > r.X0 && c.X < r.X1 && c.Y > r.Y0 && c.Y < r.Y1 {
+					if !b.Bits[g.Index(i, j)] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	rects := MaximalRects(b)
+	if len(rects) == 0 {
+		t.Fatal("no rects")
+	}
+	for _, r := range rects {
+		if !inside(r) {
+			t.Errorf("rect %v not inside region", r)
+		}
+		for _, grown := range []geom.Rect{
+			{X0: r.X0 - 1, Y0: r.Y0, X1: r.X1, Y1: r.Y1},
+			{X0: r.X0, Y0: r.Y0 - 1, X1: r.X1, Y1: r.Y1},
+			{X0: r.X0, Y0: r.Y0, X1: r.X1 + 1, Y1: r.Y1},
+			{X0: r.X0, Y0: r.Y0, X1: r.X1, Y1: r.Y1 + 1},
+		} {
+			if inside(grown) && grown.X0 >= 0 && grown.Y0 >= 0 &&
+				grown.X1 <= float64(g.W) && grown.Y1 <= float64(g.H) {
+				t.Errorf("rect %v extensible to %v", r, grown)
+			}
+		}
+	}
+}
+
+func mustProblem(t *testing.T) *cover.Problem {
+	t.Helper()
+	pg := geom.Polygon{geom.Pt(0, 0), geom.Pt(60, 0), geom.Pt(60, 60), geom.Pt(0, 60)}
+	p, err := cover.NewProblem(pg, cover.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCandidatesLegalSize(t *testing.T) {
+	p := mustProblem(t)
+	cands := Candidates(p)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	for _, c := range cands {
+		if c.W() < p.Params.Lmin-1e-9 || c.H() < p.Params.Lmin-1e-9 {
+			t.Errorf("candidate %v below Lmin", c)
+		}
+	}
+}
+
+func TestCandidatesDeduplicated(t *testing.T) {
+	p := mustProblem(t)
+	cands := Candidates(p)
+	seen := map[geom.Rect]bool{}
+	for _, c := range cands {
+		if seen[c] {
+			t.Errorf("duplicate candidate %v", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestRichDictionary(t *testing.T) {
+	// an L-shape has several maximal rects, so the anchor grid expands
+	pg := geom.Polygon{
+		geom.Pt(0, 0), geom.Pt(90, 0), geom.Pt(90, 40),
+		geom.Pt(40, 40), geom.Pt(40, 90), geom.Pt(0, 90),
+	}
+	p, err := cover.NewProblem(pg, cover.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rich := Rich(p, 24, 0.55)
+	if len(rich) < len(Candidates(p)) {
+		t.Errorf("rich dictionary (%d) smaller than base (%d)", len(rich), len(Candidates(p)))
+	}
+	// a 3-step staircase has more anchors and must expand strictly
+	stair := geom.Polygon{
+		geom.Pt(0, 0), geom.Pt(100, 0), geom.Pt(100, 35), geom.Pt(70, 35),
+		geom.Pt(70, 70), geom.Pt(35, 70), geom.Pt(35, 100), geom.Pt(0, 100),
+	}
+	ps, err := cover.NewProblem(stair, cover.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	richStair := Rich(ps, 24, 0.55)
+	if len(richStair) <= len(Candidates(ps)) {
+		t.Errorf("staircase rich dictionary (%d) not larger than base (%d)", len(richStair), len(Candidates(ps)))
+	}
+	for _, c := range rich {
+		if c.W() < p.Params.Lmin || c.H() < p.Params.Lmin {
+			t.Errorf("rich candidate %v below Lmin", c)
+		}
+		if f := p.InteriorFraction(c); f < 0.5 {
+			t.Errorf("rich candidate %v only %.2f inside", c, f)
+		}
+	}
+}
+
+func TestThin(t *testing.T) {
+	v := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	out := thin(v, 4)
+	if len(out) != 4 || out[0] != 0 || out[3] != 9 {
+		t.Errorf("thin = %v", out)
+	}
+	short := thin([]float64{1, 2}, 5)
+	if len(short) != 2 {
+		t.Errorf("thin short = %v", short)
+	}
+}

@@ -1,0 +1,65 @@
+package geom
+
+import "math"
+
+// PointSegDist returns the distance from point p to the segment ab.
+func PointSegDist(p, a, b Point) float64 {
+	ab := b.Sub(a)
+	l2 := ab.Dot(ab)
+	if l2 == 0 {
+		return p.Dist(a)
+	}
+	t := p.Sub(a).Dot(ab) / l2
+	t = math.Max(0, math.Min(1, t))
+	proj := a.Add(ab.Scale(t))
+	return p.Dist(proj)
+}
+
+// SegSegDist returns the minimum distance between segments ab and cd
+// (zero if they intersect).
+func SegSegDist(a, b, c, d Point) float64 {
+	if segIntersect(a, b, c, d) {
+		return 0
+	}
+	return math.Min(
+		math.Min(PointSegDist(a, c, d), PointSegDist(b, c, d)),
+		math.Min(PointSegDist(c, a, b), PointSegDist(d, a, b)),
+	)
+}
+
+// segIntersect reports whether segments ab and cd intersect, including
+// endpoint touching and collinear overlap.
+func segIntersect(a, b, c, d Point) bool {
+	d1 := orient(c, d, a)
+	d2 := orient(c, d, b)
+	d3 := orient(a, b, c)
+	d4 := orient(a, b, d)
+	if ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0)) {
+		return true
+	}
+	switch {
+	case d1 == 0 && onSeg(c, d, a):
+		return true
+	case d2 == 0 && onSeg(c, d, b):
+		return true
+	case d3 == 0 && onSeg(a, b, c):
+		return true
+	case d4 == 0 && onSeg(a, b, d):
+		return true
+	}
+	return false
+}
+
+// orient returns the signed double area of triangle abc: positive when c
+// lies left of the directed line ab.
+func orient(a, b, c Point) float64 {
+	return b.Sub(a).Cross(c.Sub(a))
+}
+
+// onSeg reports whether point p, known to be collinear with segment ab,
+// lies within the segment's bounding box.
+func onSeg(a, b, p Point) bool {
+	return math.Min(a.X, b.X) <= p.X && p.X <= math.Max(a.X, b.X) &&
+		math.Min(a.Y, b.Y) <= p.Y && p.Y <= math.Max(a.Y, b.Y)
+}

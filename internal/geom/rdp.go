@@ -1,0 +1,92 @@
+package geom
+
+// SimplifyChain applies the Ramer–Douglas–Peucker algorithm to an open
+// polyline, returning the subset of pts whose removal keeps every
+// original vertex within tol of the simplified chain. The first and last
+// points are always retained.
+func SimplifyChain(pts []Point, tol float64) []Point {
+	if len(pts) <= 2 {
+		out := make([]Point, len(pts))
+		copy(out, pts)
+		return out
+	}
+	keep := make([]bool, len(pts))
+	keep[0], keep[len(pts)-1] = true, true
+	rdpMark(pts, 0, len(pts)-1, tol, keep)
+	out := make([]Point, 0, len(pts))
+	for i, k := range keep {
+		if k {
+			out = append(out, pts[i])
+		}
+	}
+	return out
+}
+
+// rdpMark marks, in keep, the vertices of pts[lo..hi] retained by RDP.
+func rdpMark(pts []Point, lo, hi int, tol float64, keep []bool) {
+	if hi <= lo+1 {
+		return
+	}
+	maxD, maxI := -1.0, -1
+	for i := lo + 1; i < hi; i++ {
+		if d := PointSegDist(pts[i], pts[lo], pts[hi]); d > maxD {
+			maxD, maxI = d, i
+		}
+	}
+	if maxD > tol {
+		keep[maxI] = true
+		rdpMark(pts, lo, maxI, tol, keep)
+		rdpMark(pts, maxI, hi, tol, keep)
+	}
+}
+
+// SimplifyPolygon applies Ramer–Douglas–Peucker to a closed polygon,
+// as the paper does for mask target shape boundaries (§3, Fig 1). The
+// polygon is split at its two mutually farthest "anchor" vertices (the
+// bounding-box extremes), each chain is simplified independently, and
+// the chains are rejoined. The result has at least 3 vertices.
+func SimplifyPolygon(pg Polygon, tol float64) Polygon {
+	n := len(pg)
+	if n <= 4 {
+		return pg.Clone()
+	}
+	// Anchor on the leftmost and rightmost vertices so the split
+	// chains are well separated.
+	iMin, iMax := 0, 0
+	for i, p := range pg {
+		if p.X < pg[iMin].X || (p.X == pg[iMin].X && p.Y < pg[iMin].Y) {
+			iMin = i
+		}
+		if p.X > pg[iMax].X || (p.X == pg[iMax].X && p.Y > pg[iMax].Y) {
+			iMax = i
+		}
+	}
+	if iMin == iMax {
+		return pg.Clone()
+	}
+	chainA := sliceCyclic(pg, iMin, iMax)
+	chainB := sliceCyclic(pg, iMax, iMin)
+	sa := SimplifyChain(chainA, tol)
+	sb := SimplifyChain(chainB, tol)
+	out := make(Polygon, 0, len(sa)+len(sb)-2)
+	out = append(out, sa...)
+	out = append(out, sb[1:len(sb)-1]...)
+	if len(out) < 3 {
+		return pg.Clone()
+	}
+	return out
+}
+
+// sliceCyclic returns vertices pg[i..j] walking forward cyclically,
+// inclusive of both endpoints.
+func sliceCyclic(pg Polygon, i, j int) []Point {
+	n := len(pg)
+	out := make([]Point, 0, n)
+	for k := i; ; k = (k + 1) % n {
+		out = append(out, pg[k])
+		if k == j {
+			break
+		}
+	}
+	return out
+}

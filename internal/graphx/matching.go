@@ -1,0 +1,135 @@
+package graphx
+
+// Bipartite maximum matching (Hopcroft–Karp) and König minimum vertex
+// cover / maximum independent set. The optimal minimum rectangle
+// partition of a rectilinear polygon cuts along a maximum independent
+// set of the "chord intersection" bipartite graph (horizontal chords vs
+// vertical chords between concave corners); see fracture/partition.
+
+// Bipartite is a bipartite graph with nl left and nr right vertices.
+type Bipartite struct {
+	NL, NR int
+	adj    [][]int // adj[l] = right neighbors of left vertex l
+}
+
+// NewBipartite returns an empty bipartite graph.
+func NewBipartite(nl, nr int) *Bipartite {
+	return &Bipartite{NL: nl, NR: nr, adj: make([][]int, nl)}
+}
+
+// AddEdge inserts an edge between left vertex l and right vertex r.
+func (b *Bipartite) AddEdge(l, r int) {
+	b.adj[l] = append(b.adj[l], r)
+}
+
+const unmatched = -1
+
+// MaxMatching returns a maximum matching via Hopcroft–Karp:
+// matchL[l] = matched right vertex or -1, matchR[r] symmetric, and the
+// matching size.
+func (b *Bipartite) MaxMatching() (matchL, matchR []int, size int) {
+	matchL = make([]int, b.NL)
+	matchR = make([]int, b.NR)
+	for i := range matchL {
+		matchL[i] = unmatched
+	}
+	for i := range matchR {
+		matchR[i] = unmatched
+	}
+	dist := make([]int, b.NL)
+	queue := make([]int, 0, b.NL)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		const inf = int(^uint(0) >> 1)
+		found := false
+		for l := 0; l < b.NL; l++ {
+			if matchL[l] == unmatched {
+				dist[l] = 0
+				queue = append(queue, l)
+			} else {
+				dist[l] = inf
+			}
+		}
+		for qi := 0; qi < len(queue); qi++ {
+			l := queue[qi]
+			for _, r := range b.adj[l] {
+				nl := matchR[r]
+				if nl == unmatched {
+					found = true
+				} else if dist[nl] == inf {
+					dist[nl] = dist[l] + 1
+					queue = append(queue, nl)
+				}
+			}
+		}
+		return found
+	}
+	var dfs func(l int) bool
+	dfs = func(l int) bool {
+		for _, r := range b.adj[l] {
+			nl := matchR[r]
+			if nl == unmatched || (dist[nl] == dist[l]+1 && dfs(nl)) {
+				matchL[l] = r
+				matchR[r] = l
+				return true
+			}
+		}
+		const inf = int(^uint(0) >> 1)
+		dist[l] = inf
+		return false
+	}
+	for bfs() {
+		for l := 0; l < b.NL; l++ {
+			if matchL[l] == unmatched && dfs(l) {
+				size++
+			}
+		}
+	}
+	return matchL, matchR, size
+}
+
+// MaxIndependentSet returns a maximum independent set of the bipartite
+// graph via König's theorem: complement of the minimum vertex cover
+// derived from a maximum matching. Returns index sets for the left and
+// right sides.
+func (b *Bipartite) MaxIndependentSet() (left, right []int) {
+	matchL, matchR, _ := b.MaxMatching()
+	// König: alternate BFS from unmatched left vertices.
+	visitL := make([]bool, b.NL)
+	visitR := make([]bool, b.NR)
+	var stack []int
+	for l := 0; l < b.NL; l++ {
+		if matchL[l] == unmatched {
+			visitL[l] = true
+			stack = append(stack, l)
+		}
+	}
+	for len(stack) > 0 {
+		l := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, r := range b.adj[l] {
+			if visitR[r] {
+				continue
+			}
+			visitR[r] = true
+			if nl := matchR[r]; nl != unmatched && !visitL[nl] {
+				visitL[nl] = true
+				stack = append(stack, nl)
+			}
+		}
+	}
+	// Min vertex cover = unvisited left + visited right;
+	// independent set = visited left + unvisited right.
+	for l := 0; l < b.NL; l++ {
+		if visitL[l] {
+			left = append(left, l)
+		}
+	}
+	for r := 0; r < b.NR; r++ {
+		if !visitR[r] {
+			right = append(right, r)
+		}
+	}
+	return left, right
+}

@@ -1,0 +1,143 @@
+package maskio
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"maskfrac/internal/geom"
+)
+
+func TestGDSRoundTrip(t *testing.T) {
+	in := []NamedShape{
+		{Name: "clip1", Polygon: geom.Polygon{geom.Pt(0, 0), geom.Pt(100, 0), geom.Pt(100, 50), geom.Pt(0, 50)}},
+		{Name: "clip2", Polygon: geom.Polygon{geom.Pt(-5, -5), geom.Pt(20.25, -5), geom.Pt(10.5, 30.125)}},
+	}
+	var buf bytes.Buffer
+	if err := WriteGDS(&buf, "testlib", in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadGDS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("shapes = %d", len(out))
+	}
+	for i := range in {
+		if out[i].Name != in[i].Name {
+			t.Errorf("name %q != %q", out[i].Name, in[i].Name)
+		}
+		if len(out[i].Polygon) != len(in[i].Polygon) {
+			t.Fatalf("shape %d: %d vertices, want %d", i, len(out[i].Polygon), len(in[i].Polygon))
+		}
+		for j, p := range in[i].Polygon {
+			got := out[i].Polygon[j]
+			// 1 pm database resolution
+			if math.Abs(got.X-p.X) > 1e-3 || math.Abs(got.Y-p.Y) > 1e-3 {
+				t.Errorf("shape %d vertex %d: %v != %v", i, j, got, p)
+			}
+		}
+	}
+}
+
+func TestGDSHeaderStructure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteGDS(&buf, "lib", nil); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// first record: HEADER, int16 data, version 600
+	if b[2] != recHeader || b[3] != dtInt16 {
+		t.Errorf("first record = %x %x", b[2], b[3])
+	}
+	if v := int(b[4])<<8 | int(b[5]); v != 600 {
+		t.Errorf("version = %d", v)
+	}
+	// stream must end with ENDLIB
+	if b[len(b)-2] != recEndLib {
+		t.Errorf("last record = %x", b[len(b)-2])
+	}
+}
+
+func TestGDSErrors(t *testing.T) {
+	// truncated stream
+	var buf bytes.Buffer
+	if err := WriteGDS(&buf, "lib", []NamedShape{
+		{Name: "s", Polygon: geom.Polygon{geom.Pt(0, 0), geom.Pt(4, 0), geom.Pt(4, 4)}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-6]
+	if _, err := ReadGDS(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	// garbage header
+	if _, err := ReadGDS(bytes.NewReader([]byte{0, 1, 2})); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestReal8RoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1, -1, 0.001, 1e-12, 6.25e-9, 123456.789, -3.25e-5} {
+		b := real8bytes(v)
+		got := real8parse(b)
+		if v == 0 {
+			if got != 0 {
+				t.Errorf("zero decodes to %v", got)
+			}
+			continue
+		}
+		if math.Abs(got-v)/math.Abs(v) > 1e-12 {
+			t.Errorf("real8(%v) = %v", v, got)
+		}
+	}
+}
+
+func TestReal8Quick(t *testing.T) {
+	f := func(mant int32, scale uint8) bool {
+		v := float64(mant) * math.Pow(10, float64(int(scale%24)-12))
+		got := real8parse(real8bytes(v))
+		if v == 0 {
+			return got == 0
+		}
+		return math.Abs(got-v)/math.Abs(v) < 1e-10
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGDSQuickPolygonRoundTrip(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) < 6 {
+			return true
+		}
+		pg := make(geom.Polygon, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw) && len(pg) < 64; i += 2 {
+			pg = append(pg, geom.Pt(float64(raw[i])/4, float64(raw[i+1])/4))
+		}
+		if pg.Validate() != nil {
+			return true // skip degenerate random polygons
+		}
+		var buf bytes.Buffer
+		if err := WriteGDS(&buf, "q", []NamedShape{{Name: "s", Polygon: pg}}); err != nil {
+			return false
+		}
+		out, err := ReadGDS(&buf)
+		if err != nil || len(out) != 1 || len(out[0].Polygon) != len(pg) {
+			return false
+		}
+		for i, p := range pg {
+			got := out[0].Polygon[i]
+			if math.Abs(got.X-p.X) > 1e-3 || math.Abs(got.Y-p.Y) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

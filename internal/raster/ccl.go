@@ -1,0 +1,83 @@
+package raster
+
+// Labels holds a connected-component labeling of a bitmap. Component
+// ids run 1..N; background pixels have label 0.
+type Labels struct {
+	Grid Grid
+	L    []int32 // row-major labels, 0 = background
+	N    int     // number of components
+}
+
+// ConnectedComponents labels the 4-connected components of the true
+// pixels of b using an iterative flood fill. The paper's shot-addition
+// step (§4.3) merges failing pixels into polygons this way before
+// picking the best bounding box.
+func ConnectedComponents(b *Bitmap) *Labels {
+	g := b.Grid
+	lab := &Labels{Grid: g, L: make([]int32, g.Len())}
+	var stack []int
+	for start, v := range b.Bits {
+		if !v || lab.L[start] != 0 {
+			continue
+		}
+		lab.N++
+		id := int32(lab.N)
+		stack = append(stack[:0], start)
+		lab.L[start] = id
+		for len(stack) > 0 {
+			k := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			i, j := g.Coords(k)
+			for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				ni, nj := i+d[0], j+d[1]
+				if !g.In(ni, nj) {
+					continue
+				}
+				nk := g.Index(ni, nj)
+				if b.Bits[nk] && lab.L[nk] == 0 {
+					lab.L[nk] = id
+					stack = append(stack, nk)
+				}
+			}
+		}
+	}
+	return lab
+}
+
+// ComponentBox describes one connected component: its pixel count and
+// pixel-coordinate bounding box (inclusive).
+type ComponentBox struct {
+	ID             int
+	Count          int
+	I0, J0, I1, J1 int
+}
+
+// Boxes returns per-component pixel counts and bounding boxes, indexed
+// by component id minus one.
+func (l *Labels) Boxes() []ComponentBox {
+	boxes := make([]ComponentBox, l.N)
+	for c := range boxes {
+		boxes[c] = ComponentBox{ID: c + 1, I0: l.Grid.W, J0: l.Grid.H, I1: -1, J1: -1}
+	}
+	for k, id := range l.L {
+		if id == 0 {
+			continue
+		}
+		b := &boxes[id-1]
+		i, j := l.Grid.Coords(k)
+		b.Count++
+		if i < b.I0 {
+			b.I0 = i
+		}
+		if i > b.I1 {
+			b.I1 = i
+		}
+		if j < b.J0 {
+			b.J0 = j
+		}
+		if j > b.J1 {
+			b.J1 = j
+		}
+	}
+	return boxes
+}

@@ -1,0 +1,111 @@
+package raster
+
+import "math"
+
+// DistanceTransform returns, for every pixel, the Euclidean distance (in
+// world units) to the nearest true pixel of b, using the exact
+// two-pass separable algorithm of Felzenszwalb & Huttenlocher. Pixels of
+// b that are true have distance 0. If b has no true pixel, every
+// distance is +Inf.
+func DistanceTransform(b *Bitmap) *Field {
+	g := b.Grid
+	f := NewField(g)
+	inf := math.Inf(1)
+	// initialize: 0 at seeds, Inf elsewhere (in squared pixel units)
+	for k, v := range b.Bits {
+		if v {
+			f.V[k] = 0
+		} else {
+			f.V[k] = inf
+		}
+	}
+	// transform along columns then rows
+	buf := make([]float64, maxInt(g.W, g.H))
+	vtx := make([]int, maxInt(g.W, g.H)+1)
+	z := make([]float64, maxInt(g.W, g.H)+1)
+	for i := 0; i < g.W; i++ {
+		for j := 0; j < g.H; j++ {
+			buf[j] = f.V[g.Index(i, j)]
+		}
+		dt1d(buf[:g.H], vtx, z)
+		for j := 0; j < g.H; j++ {
+			f.V[g.Index(i, j)] = buf[j]
+		}
+	}
+	for j := 0; j < g.H; j++ {
+		row := f.V[j*g.W : (j+1)*g.W]
+		dt1d(row, vtx, z)
+	}
+	// convert squared pixel distances to world distances
+	for k, v := range f.V {
+		if math.IsInf(v, 1) {
+			continue
+		}
+		f.V[k] = math.Sqrt(v) * g.Pitch
+	}
+	return f
+}
+
+// dt1d performs the 1D squared distance transform of Felzenszwalb &
+// Huttenlocher in place on f. v and z are scratch slices of length
+// >= len(f) and len(f)+1.
+func dt1d(f []float64, v []int, z []float64) {
+	n := len(f)
+	if n == 0 {
+		return
+	}
+	k := 0
+	v[0] = 0
+	z[0] = math.Inf(-1)
+	z[1] = math.Inf(1)
+	for q := 1; q < n; q++ {
+		if math.IsInf(f[q], 1) {
+			continue
+		}
+		for {
+			p := v[k]
+			var s float64
+			if math.IsInf(f[p], 1) {
+				s = math.Inf(-1)
+			} else {
+				s = ((f[q] + float64(q*q)) - (f[p] + float64(p*p))) / float64(2*(q-p))
+			}
+			if s > z[k] {
+				k++
+				v[k] = q
+				z[k] = s
+				z[k+1] = math.Inf(1)
+				break
+			}
+			if k == 0 {
+				v[0] = q
+				z[0] = math.Inf(-1)
+				z[1] = math.Inf(1)
+				break
+			}
+			k--
+		}
+	}
+	out := make([]float64, n)
+	k = 0
+	for q := 0; q < n; q++ {
+		for z[k+1] < float64(q) {
+			k++
+		}
+		p := v[k]
+		if math.IsInf(f[p], 1) {
+			out[q] = math.Inf(1)
+		} else {
+			d := float64(q - p)
+			out[q] = d*d + f[p]
+		}
+	}
+	copy(f, out)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

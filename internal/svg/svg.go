@@ -1,0 +1,119 @@
+// Package svg renders mask shapes, shots, corner points and dose
+// contours to standalone SVG files — the library's replacement for the
+// paper's figures (Fig 1–5 illustrations and shape/solution plots).
+package svg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"maskfrac/internal/geom"
+)
+
+// Canvas accumulates SVG elements over a world-coordinate viewport.
+// Y is flipped so larger y renders upward, as in the paper's figures.
+type Canvas struct {
+	view  geom.Rect
+	scale float64
+	elems []string
+}
+
+// NewCanvas creates a canvas for the world-coordinate viewport view,
+// rendered at the given scale (pixels per nanometer).
+func NewCanvas(view geom.Rect, scale float64) *Canvas {
+	if scale <= 0 {
+		scale = 4
+	}
+	return &Canvas{view: view.Inset(-4), scale: scale}
+}
+
+// x and y map world coordinates to SVG pixels.
+func (c *Canvas) x(v float64) float64 { return (v - c.view.X0) * c.scale }
+func (c *Canvas) y(v float64) float64 { return (c.view.Y1 - v) * c.scale }
+
+// Polygon draws a closed polygon with the given fill and stroke.
+func (c *Canvas) Polygon(pg geom.Polygon, fill, stroke string, width float64) {
+	if len(pg) == 0 {
+		return
+	}
+	pts := ""
+	for _, p := range pg {
+		pts += fmt.Sprintf("%.2f,%.2f ", c.x(p.X), c.y(p.Y))
+	}
+	c.elems = append(c.elems, fmt.Sprintf(
+		`<polygon points=%q fill=%q stroke=%q stroke-width="%.2f"/>`,
+		pts, fill, stroke, width*c.scale))
+}
+
+// Rect draws a rectangle with the given fill (use e.g. "rgba(0,0,255,0.2)"
+// for translucent shots) and stroke.
+func (c *Canvas) Rect(r geom.Rect, fill, stroke string, width float64) {
+	c.elems = append(c.elems, fmt.Sprintf(
+		`<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill=%q stroke=%q stroke-width="%.2f"/>`,
+		c.x(r.X0), c.y(r.Y1), r.W()*c.scale, r.H()*c.scale, fill, stroke, width*c.scale))
+}
+
+// Circle draws a dot at p with radius rad (world units).
+func (c *Canvas) Circle(p geom.Point, rad float64, fill string) {
+	c.elems = append(c.elems, fmt.Sprintf(
+		`<circle cx="%.2f" cy="%.2f" r="%.2f" fill=%q/>`,
+		c.x(p.X), c.y(p.Y), rad*c.scale, fill))
+}
+
+// Line draws a segment from a to b.
+func (c *Canvas) Line(a, b geom.Point, stroke string, width float64) {
+	c.elems = append(c.elems, fmt.Sprintf(
+		`<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke=%q stroke-width="%.2f"/>`,
+		c.x(a.X), c.y(a.Y), c.x(b.X), c.y(b.Y), stroke, width*c.scale))
+}
+
+// Text places a label at p with the given font size in world units.
+func (c *Canvas) Text(p geom.Point, size float64, s string) {
+	c.elems = append(c.elems, fmt.Sprintf(
+		`<text x="%.2f" y="%.2f" font-size="%.2f" font-family="sans-serif">%s</text>`,
+		c.x(p.X), c.y(p.Y), size*c.scale, s))
+}
+
+// Polyline draws an open polyline through pts.
+func (c *Canvas) Polyline(pts []geom.Point, stroke string, width float64) {
+	if len(pts) < 2 {
+		return
+	}
+	s := ""
+	for _, p := range pts {
+		s += fmt.Sprintf("%.2f,%.2f ", c.x(p.X), c.y(p.Y))
+	}
+	c.elems = append(c.elems, fmt.Sprintf(
+		`<polyline points=%q fill="none" stroke=%q stroke-width="%.2f"/>`,
+		s, stroke, width*c.scale))
+}
+
+// WriteTo emits the SVG document.
+func (c *Canvas) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	wr := func(format string, args ...any) error {
+		k, err := fmt.Fprintf(bw, format, args...)
+		n += int64(k)
+		return err
+	}
+	wpx := c.view.W() * c.scale
+	hpx := c.view.H() * c.scale
+	if err := wr("<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" height=\"%.0f\" viewBox=\"0 0 %.0f %.0f\">\n",
+		wpx, hpx, wpx, hpx); err != nil {
+		return n, err
+	}
+	if err := wr("<rect width=\"100%%\" height=\"100%%\" fill=\"white\"/>\n"); err != nil {
+		return n, err
+	}
+	for _, e := range c.elems {
+		if err := wr("%s\n", e); err != nil {
+			return n, err
+		}
+	}
+	if err := wr("</svg>\n"); err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}

@@ -1,0 +1,63 @@
+package svg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"maskfrac/internal/geom"
+)
+
+func render(t *testing.T, c *Canvas) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestEmptyCanvas(t *testing.T) {
+	c := NewCanvas(geom.Rect{X0: 0, Y0: 0, X1: 10, Y1: 10}, 4)
+	out := render(t, c)
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Errorf("malformed document: %q", out)
+	}
+	if !strings.Contains(out, `fill="white"`) {
+		t.Error("missing background")
+	}
+}
+
+func TestElements(t *testing.T) {
+	c := NewCanvas(geom.Rect{X0: 0, Y0: 0, X1: 100, Y1: 100}, 2)
+	c.Polygon(geom.Polygon{geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(5, 8)}, "red", "black", 0.5)
+	c.Rect(geom.Rect{X0: 20, Y0: 20, X1: 40, Y1: 30}, "blue", "none", 0.2)
+	c.Circle(geom.Pt(50, 50), 2, "green")
+	c.Line(geom.Pt(0, 0), geom.Pt(100, 100), "gray", 0.1)
+	c.Text(geom.Pt(10, 90), 4, "label")
+	c.Polyline([]geom.Point{{X: 0, Y: 0}, {X: 5, Y: 5}, {X: 10, Y: 0}}, "purple", 0.3)
+	out := render(t, c)
+	for _, tag := range []string{"<polygon", "<rect", "<circle", "<line", "<text", "<polyline", "label"} {
+		if !strings.Contains(out, tag) {
+			t.Errorf("missing %s element", tag)
+		}
+	}
+}
+
+func TestYAxisFlipped(t *testing.T) {
+	// world y=0 must render at the BOTTOM (larger SVG y) than world y=10
+	c := NewCanvas(geom.Rect{X0: 0, Y0: 0, X1: 10, Y1: 10}, 1)
+	if c.y(0) <= c.y(10) {
+		t.Errorf("y axis not flipped: y(0)=%v y(10)=%v", c.y(0), c.y(10))
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	c := NewCanvas(geom.Rect{X0: 0, Y0: 0, X1: 10, Y1: 10}, 0) // zero scale -> default
+	c.Polygon(nil, "red", "black", 1)
+	c.Polyline([]geom.Point{{X: 1, Y: 1}}, "red", 1)
+	out := render(t, c)
+	if strings.Contains(out, "<polygon") || strings.Contains(out, "<polyline") {
+		t.Error("degenerate elements emitted")
+	}
+}

@@ -1,0 +1,74 @@
+// Package writecost models variable-shaped-beam mask write time and
+// mask cost as a function of shot count, reproducing the economic
+// argument of the paper's introduction: shot count is proportional to
+// write time, mask write is roughly 20% of mask manufacturing cost
+// (dominated by e-beam tool depreciation), so a 10% shot-count
+// reduction translates to about a 2% mask cost reduction — significant
+// when a modern mask set exceeds a million dollars.
+package writecost
+
+import (
+	"fmt"
+	"time"
+)
+
+// Model holds the write-time and cost parameters.
+type Model struct {
+	// ShotTime is the average time per shot (exposure + settling).
+	// Industry VSB tools of the era averaged a few hundred nanoseconds
+	// to a microsecond per shot.
+	ShotTime time.Duration
+	// Overhead is the fixed per-mask write overhead (stage moves,
+	// calibration, resist handling).
+	Overhead time.Duration
+	// WriteFraction is the share of total mask cost attributable to
+	// mask write (the paper uses ≈0.20).
+	WriteFraction float64
+	// MaskSetCost is the cost of a full mask set in dollars (the paper
+	// cites > $1M for a modern design).
+	MaskSetCost float64
+}
+
+// Default returns the parameterization used by the paper's
+// introduction.
+func Default() Model {
+	return Model{
+		ShotTime:      500 * time.Nanosecond,
+		Overhead:      4 * time.Hour,
+		WriteFraction: 0.20,
+		MaskSetCost:   1_500_000,
+	}
+}
+
+// WriteTime returns the estimated write time for a mask with the given
+// total shot count.
+func (m Model) WriteTime(shots int64) time.Duration {
+	return m.Overhead + time.Duration(shots)*m.ShotTime
+}
+
+// CostReduction returns the fractional mask cost reduction achieved by
+// lowering the shot count from base to reduced, under the assumption
+// that write cost scales with write time (beam time dominates) and
+// write is WriteFraction of the mask cost.
+func (m Model) CostReduction(base, reduced int64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	shotReduction := 1 - float64(reduced)/float64(base)
+	return m.WriteFraction * shotReduction
+}
+
+// DollarSavings returns the estimated savings on a full mask set from
+// reducing per-mask shot counts by the same ratio.
+func (m Model) DollarSavings(base, reduced int64) float64 {
+	return m.MaskSetCost * m.CostReduction(base, reduced)
+}
+
+// Summary formats the headline numbers for a shot-count comparison.
+func (m Model) Summary(name string, base, reduced int64) string {
+	return fmt.Sprintf(
+		"%s: shots %d -> %d (%.1f%% fewer), write time %v -> %v, mask cost -%.2f%%, mask set savings $%.0f",
+		name, base, reduced, 100*(1-float64(reduced)/float64(base)),
+		m.WriteTime(base).Round(time.Minute), m.WriteTime(reduced).Round(time.Minute),
+		100*m.CostReduction(base, reduced), m.DollarSavings(base, reduced))
+}

@@ -1,0 +1,81 @@
+package writecost
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestWriteTime(t *testing.T) {
+	m := Model{ShotTime: time.Microsecond, Overhead: time.Hour}
+	if got := m.WriteTime(0); got != time.Hour {
+		t.Errorf("zero shots = %v", got)
+	}
+	if got := m.WriteTime(3_600_000_000); got != 2*time.Hour {
+		t.Errorf("3.6e9 shots = %v", got)
+	}
+}
+
+func TestPaperHeadlineNumber(t *testing.T) {
+	// "a reduction of even 10% in shot count would roughly translate to
+	// 2% improvement in mask cost" (paper §1, with write ≈ 20% of cost)
+	m := Default()
+	got := m.CostReduction(100, 90)
+	if math.Abs(got-0.02) > 1e-9 {
+		t.Errorf("10%% shot reduction -> %.4f cost reduction, want 0.02", got)
+	}
+}
+
+func TestCostReductionEdge(t *testing.T) {
+	m := Default()
+	if m.CostReduction(0, 10) != 0 {
+		t.Error("zero base should give zero reduction")
+	}
+	if m.CostReduction(100, 100) != 0 {
+		t.Error("no reduction should give zero")
+	}
+	// a 23% reduction (the paper's improvement over PROTO-EDA)
+	got := m.CostReduction(100, 77)
+	if math.Abs(got-0.046) > 1e-9 {
+		t.Errorf("23%% shots -> %v cost", got)
+	}
+}
+
+func TestDollarSavings(t *testing.T) {
+	m := Default()
+	got := m.DollarSavings(100, 90)
+	want := m.MaskSetCost * 0.02
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("savings = %v, want %v", got, want)
+	}
+}
+
+func TestSummaryContainsFields(t *testing.T) {
+	s := Default().Summary("test", 1000, 800)
+	for _, frag := range []string{"test", "1000", "800", "20.0% fewer"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("summary %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestCostReductionQuick(t *testing.T) {
+	m := Default()
+	f := func(base, reduced uint16) bool {
+		b, r := int64(base)+1, int64(reduced)
+		got := m.CostReduction(b, r)
+		// bounded by the write fraction, monotone in the reduction
+		if r <= b && (got < 0 || got > m.WriteFraction) {
+			return false
+		}
+		if r > b && got > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,293 @@
+// Package maskfrac is a model-based mask fracturing library: it covers
+// mask target shapes with minimal sets of overlapping variable-shaped
+// e-beam shots while compensating the e-beam proximity effect, so that
+// the printed dose satisfies CD constraints everywhere.
+//
+// It reproduces "Effective Model-Based Mask Fracturing for Mask Cost
+// Reduction" (Kagalwalla & Gupta, DAC 2015): the paper's graph-coloring
+// + iterative-refinement method, the GSC / MP / PROTO-EDA baselines it
+// benchmarks against, conventional rectilinear partition fracturing,
+// benchmark shape generators, shot-count bounds, a mask write cost
+// model, and the experiment harness regenerating the paper's tables.
+//
+// Quick start:
+//
+//	target := maskfrac.Polygon{{0, 0}, {100, 0}, {100, 100}, {0, 100}}
+//	prob, err := maskfrac.NewProblem(target, maskfrac.DefaultParams())
+//	res, err := prob.Fracture(maskfrac.MethodMBF, nil)
+//	// res.Shots is the e-beam shot list; res.Feasible() reports CD cleanliness.
+package maskfrac
+
+import (
+	"fmt"
+	"time"
+
+	"maskfrac/internal/bounds"
+	"maskfrac/internal/cover"
+	"maskfrac/internal/fracture/gsc"
+	"maskfrac/internal/fracture/mbf"
+	"maskfrac/internal/fracture/mp"
+	"maskfrac/internal/fracture/partition"
+	"maskfrac/internal/fracture/protoeda"
+	"maskfrac/internal/geom"
+	"maskfrac/internal/graphx"
+	"maskfrac/internal/shapegen"
+)
+
+// Point is a planar point in nanometers.
+type Point = geom.Point
+
+// Shot is an axis-parallel rectangular e-beam shot, in nanometers.
+type Shot = geom.Rect
+
+// Polygon is a mask target shape: a simple polygon without a repeated
+// closing vertex. ILT shapes are polygons with many short segments.
+type Polygon = geom.Polygon
+
+// Params are the fracturing parameters (blur σ, CD tolerance γ, dose
+// threshold ρ, pixel size Δp and minimum shot size Lmin).
+type Params = cover.Params
+
+// DefaultParams returns the parameter set of the paper's experiments:
+// σ = 6.25 nm, γ = 2 nm, ρ = 0.5, Δp = 1 nm, Lmin = 8 nm.
+func DefaultParams() Params { return cover.DefaultParams() }
+
+// Method selects a fracturing heuristic.
+type Method string
+
+const (
+	// MethodMBF is the paper's method: graph-coloring-based approximate
+	// fracturing followed by iterative shot refinement.
+	MethodMBF Method = "mbf"
+	// MethodGSC is the greedy set cover baseline.
+	MethodGSC Method = "gsc"
+	// MethodMP is the matching pursuit baseline.
+	MethodMP Method = "mp"
+	// MethodProtoEDA is the commercial-prototype substitute baseline:
+	// coarse rectilinear partition plus model-based cleanup.
+	MethodProtoEDA Method = "proto-eda"
+	// MethodPartition is conventional non-model-based fracturing: a
+	// minimum rectangle partition of the rasterized target with no
+	// overlap and no proximity compensation.
+	MethodPartition Method = "partition"
+)
+
+// Methods lists all supported fracturing methods.
+func Methods() []Method {
+	return []Method{MethodMBF, MethodGSC, MethodMP, MethodProtoEDA, MethodPartition}
+}
+
+// Options tune a fracturing run. The zero value (or a nil pointer)
+// selects the paper's settings for every method.
+type Options struct {
+	// MaxIterations bounds the refinement loop of MethodMBF and the
+	// shot caps of the baselines. 0 selects each method's default.
+	MaxIterations int
+	// ColoringOrder selects the greedy coloring order for MethodMBF:
+	// "sequential" (paper default), "welsh-powell" or "smallest-last".
+	ColoringOrder string
+	// SkipRefinement stops MethodMBF after the coloring stage.
+	SkipRefinement bool
+}
+
+// coloringOrder maps the option string to the graph coloring order.
+func (o *Options) coloringOrder() (graphx.Order, error) {
+	if o == nil || o.ColoringOrder == "" || o.ColoringOrder == "sequential" {
+		return graphx.Sequential, nil
+	}
+	switch o.ColoringOrder {
+	case "welsh-powell":
+		return graphx.WelshPowell, nil
+	case "smallest-last":
+		return graphx.SmallestLast, nil
+	}
+	return graphx.Sequential, fmt.Errorf("maskfrac: unknown coloring order %q", o.ColoringOrder)
+}
+
+// Problem is a prepared fracturing instance: the target shape sampled
+// at the pixel pitch with every pixel classified as interior (Pon),
+// exterior (Poff) or boundary band (don't-care).
+type Problem struct {
+	p *cover.Problem
+}
+
+// NewProblem samples and classifies a target shape. The grid covers
+// the shape's bounding box plus the proximity kernel support.
+func NewProblem(target Polygon, params Params) (*Problem, error) {
+	p, err := cover.NewProblem(target, params)
+	if err != nil {
+		return nil, err
+	}
+	return &Problem{p: p}, nil
+}
+
+// Target returns the problem's target polygon.
+func (pr *Problem) Target() Polygon { return pr.p.Target }
+
+// Params returns the problem's parameters.
+func (pr *Problem) Params() Params { return pr.p.Params }
+
+// PixelCounts returns |Pon| and |Poff| of the sampled instance.
+func (pr *Problem) PixelCounts() (on, off int) { return pr.p.OnCount(), pr.p.OffCount() }
+
+// Result is the outcome of a fracturing run.
+type Result struct {
+	Method  Method
+	Shots   []Shot
+	FailOn  int           // failing interior pixels (dose below ρ)
+	FailOff int           // failing exterior pixels (dose at/above ρ)
+	Cost    float64       // Σ|Itot−ρ| over failing pixels (paper Eq. 5)
+	Runtime time.Duration // wall time of the run
+
+	// Stage holds coloring-stage statistics for MethodMBF runs, nil
+	// otherwise.
+	Stage *StageInfo
+}
+
+// StageInfo mirrors the approximate-fracturing statistics of the
+// paper's method (used to reproduce Figs 1 and 3).
+type StageInfo struct {
+	VerticesIn   int     // target polygon vertices
+	VerticesRDP  int     // vertices after boundary approximation
+	CornersRaw   int     // corner points before clustering
+	Corners      int     // corner points after clustering
+	GraphEdges   int     // compatibility graph edges
+	Colors       int     // colors used on the inverse graph
+	Lth          float64 // longest writable 45° segment
+	InitialShots int     // shots after the coloring stage
+	Iterations   int     // refinement iterations run
+}
+
+// ShotCount returns the number of shots.
+func (r *Result) ShotCount() int { return len(r.Shots) }
+
+// FailingPixels returns the total number of CD-violating pixels.
+func (r *Result) FailingPixels() int { return r.FailOn + r.FailOff }
+
+// Feasible reports whether the solution satisfies every constraint.
+func (r *Result) Feasible() bool { return r.FailingPixels() == 0 }
+
+// Fracture runs the selected method on the problem. opt may be nil for
+// the paper's defaults.
+func (pr *Problem) Fracture(m Method, opt *Options) (*Result, error) {
+	start := time.Now()
+	res := &Result{Method: m}
+	maxIter := 0
+	if opt != nil {
+		maxIter = opt.MaxIterations
+	}
+	switch m {
+	case MethodMBF:
+		order, err := opt.coloringOrder()
+		if err != nil {
+			return nil, err
+		}
+		o := mbf.Options{Nmax: maxIter, Order: order}
+		if opt != nil {
+			o.SkipRefinement = opt.SkipRefinement
+		}
+		r := mbf.Fracture(pr.p, o)
+		res.Shots = r.Shots
+		res.Stage = &StageInfo{
+			VerticesIn:   r.Info.VerticesIn,
+			VerticesRDP:  r.Info.VerticesRDP,
+			CornersRaw:   r.Info.CornersRaw,
+			Corners:      r.Info.Corners,
+			GraphEdges:   r.Info.GraphEdges,
+			Colors:       r.Info.Colors,
+			Lth:          r.Info.Lth,
+			InitialShots: r.Info.InitialShots,
+			Iterations:   r.Info.RefineIterations,
+		}
+	case MethodGSC:
+		r := gsc.Fracture(pr.p, gsc.Options{MaxShots: maxIter})
+		res.Shots = r.Shots
+	case MethodMP:
+		r := mp.Fracture(pr.p, mp.Options{MaxShots: maxIter})
+		res.Shots = r.Shots
+	case MethodProtoEDA:
+		r := protoeda.Fracture(pr.p, protoeda.Options{CleanupIters: maxIter})
+		res.Shots = r.Shots
+	case MethodPartition:
+		shots, err := pr.partitionShots()
+		if err != nil {
+			return nil, err
+		}
+		res.Shots = shots
+	default:
+		return nil, fmt.Errorf("maskfrac: unknown method %q", m)
+	}
+	st := pr.p.Evaluate(res.Shots)
+	res.FailOn = st.FailOn
+	res.FailOff = st.FailOff
+	res.Cost = st.Cost
+	res.Runtime = time.Since(start)
+	return res, nil
+}
+
+// partitionShots runs conventional partition fracturing on the target
+// (rectilinearized when the target is curvilinear).
+func (pr *Problem) partitionShots() ([]Shot, error) {
+	target := pr.p.Target
+	if target.IsRectilinear() {
+		return partition.Minimum(target)
+	}
+	// rectilinearize at the pixel pitch
+	pg, err := rectilinearize(pr.p)
+	if err != nil {
+		return nil, err
+	}
+	return partition.Minimum(pg)
+}
+
+// Evaluate scores an arbitrary shot list against the problem's
+// constraints.
+func (pr *Problem) Evaluate(shots []Shot) (failOn, failOff int, cost float64) {
+	st := pr.p.Evaluate(shots)
+	return st.FailOn, st.FailOff, st.Cost
+}
+
+// DoseAt returns the total blurred dose the shot list delivers at a
+// point.
+func (pr *Problem) DoseAt(shots []Shot, at Point) float64 {
+	total := 0.0
+	for _, s := range shots {
+		total += pr.p.Model.ShotIntensity(s, at)
+	}
+	return total
+}
+
+// Bounds returns heuristic lower/upper shot-count bounds for the
+// target (the Table 2 LB/UB substitution; see DESIGN.md).
+func (pr *Problem) Bounds() (lower, upper int) {
+	b := bounds.Compute(pr.p)
+	return b.Lower, b.Upper
+}
+
+// Lth returns the longest 45° segment writable by a single shot corner
+// under the problem's proximity model and CD tolerance (paper Fig 2).
+func (pr *Problem) Lth() float64 {
+	return pr.p.Model.Lth(pr.p.Params.Rho, pr.p.Params.Gamma)
+}
+
+// NewMultiProblem samples a group of disjoint target shapes — typically
+// a main feature plus its sub-resolution assist features (SRAFs) — into
+// one fracturing instance. The shapes share the dose budget and are
+// fractured together, as on a real mask where assist features sit
+// within the proximity range of the feature they assist.
+func NewMultiProblem(targets []Polygon, params Params) (*Problem, error) {
+	p, err := cover.NewMultiProblem(targets, params)
+	if err != nil {
+		return nil, err
+	}
+	return &Problem{p: p}, nil
+}
+
+// Targets returns all target shapes of the instance.
+func (pr *Problem) Targets() []Polygon { return pr.p.Targets }
+
+// SRAFCluster returns a generated benchmark instance of a main feature
+// plus n assist bars (main shape first).
+func SRAFCluster(seed int64, bars int) []Polygon {
+	return shapegen.SRAFCluster(seed, bars)
+}
