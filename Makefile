@@ -1,0 +1,37 @@
+# Development targets for the maskfrac repo. `make check` is the
+# gate: formatting, vet and the full test suite under the race
+# detector (the shapecache and fracserve tests are concurrency-heavy).
+
+GO ?= go
+
+.PHONY: all build fmt vet test race bench check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# -short skips the multi-minute fracturing integration suites, which are
+# too slow under the race detector; the concurrency-heavy tests
+# (shapecache, fracserve, batch, cache) all still run.
+race:
+	$(GO) test -race -short ./...
+
+# the cache benches report the hit-vs-miss and cached-vs-uncached gaps
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkShapeCache|BenchmarkBatchCache' -benchtime 3x .
+
+check: fmt vet test race
+	@echo "check ok"

@@ -1,6 +1,7 @@
 package maskfrac
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -8,9 +9,10 @@ import (
 
 // BatchItem is the outcome of fracturing one shape in a batch.
 type BatchItem struct {
-	Index  int
-	Result *Result
-	Err    error
+	Index    int
+	Result   *Result
+	Err      error
+	CacheHit bool // the result came from the shape cache
 }
 
 // FractureBatch fractures many target shapes concurrently with the
@@ -20,6 +22,21 @@ type BatchItem struct {
 // Results are returned in input order. Shapes that fail to sample or
 // fracture carry their error in the corresponding item.
 func FractureBatch(targets []Polygon, params Params, m Method, opt *Options, workers int) []BatchItem {
+	return FractureBatchCached(context.Background(), targets, params, m, opt, workers, nil)
+}
+
+// FractureBatchCtx is FractureBatch with cancellation: when ctx is
+// cancelled, no further shapes are dispatched and every undone item
+// carries ctx.Err(). Shapes already being solved run to completion.
+func FractureBatchCtx(ctx context.Context, targets []Polygon, params Params, m Method, opt *Options, workers int) []BatchItem {
+	return FractureBatchCached(ctx, targets, params, m, opt, workers, nil)
+}
+
+// FractureBatchCached is FractureBatchCtx with an optional shape cache
+// in front of the solver: congruent repeated shapes run the solver once
+// per congruence class and items served from the cache set CacheHit.
+// A nil cache solves every shape.
+func FractureBatchCached(ctx context.Context, targets []Polygon, params Params, m Method, opt *Options, workers int, cache *ShapeCache) []BatchItem {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -34,12 +51,24 @@ func FractureBatch(targets []Polygon, params Params, m Method, opt *Options, wor
 		go func() {
 			defer wg.Done()
 			for idx := range work {
-				items[idx] = fractureOne(idx, targets[idx], params, m, opt)
+				if err := ctx.Err(); err != nil {
+					items[idx] = BatchItem{Index: idx, Err: err}
+					continue
+				}
+				items[idx] = fractureOne(ctx, idx, targets[idx], params, m, opt, cache)
 			}
 		}()
 	}
+dispatch:
 	for i := range targets {
-		work <- i
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			for j := i; j < len(targets); j++ {
+				items[j] = BatchItem{Index: j, Err: ctx.Err()}
+			}
+			break dispatch
+		}
 	}
 	close(work)
 	wg.Wait()
@@ -47,25 +76,22 @@ func FractureBatch(targets []Polygon, params Params, m Method, opt *Options, wor
 }
 
 // fractureOne samples and fractures a single shape, capturing errors.
-func fractureOne(idx int, target Polygon, params Params, m Method, opt *Options) BatchItem {
-	prob, err := NewProblem(target, params)
+func fractureOne(ctx context.Context, idx int, target Polygon, params Params, m Method, opt *Options, cache *ShapeCache) BatchItem {
+	res, hit, err := FractureCached(ctx, target, params, m, opt, cache)
 	if err != nil {
 		return BatchItem{Index: idx, Err: fmt.Errorf("maskfrac: shape %d: %w", idx, err)}
 	}
-	res, err := prob.Fracture(m, opt)
-	if err != nil {
-		return BatchItem{Index: idx, Err: fmt.Errorf("maskfrac: shape %d: %w", idx, err)}
-	}
-	return BatchItem{Index: idx, Result: res}
+	return BatchItem{Index: idx, Result: res, CacheHit: hit}
 }
 
 // BatchSummary aggregates a batch run.
 type BatchSummary struct {
-	Shapes   int
-	Errors   int
-	Shots    int
-	Failing  int
-	Feasible int // shapes with zero failing pixels
+	Shapes    int
+	Errors    int
+	Shots     int
+	Failing   int
+	Feasible  int // shapes with zero failing pixels
+	CacheHits int // shapes served from the shape cache
 }
 
 // Summarize folds batch items into totals.
@@ -76,6 +102,9 @@ func Summarize(items []BatchItem) BatchSummary {
 		if it.Err != nil {
 			s.Errors++
 			continue
+		}
+		if it.CacheHit {
+			s.CacheHits++
 		}
 		s.Shots += it.Result.ShotCount()
 		s.Failing += it.Result.FailingPixels()

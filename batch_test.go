@@ -1,6 +1,10 @@
 package maskfrac
 
-import "testing"
+import (
+	"context"
+	"errors"
+	"testing"
+)
 
 func TestFractureBatch(t *testing.T) {
 	targets := []Polygon{
@@ -61,5 +65,88 @@ func TestFractureBatchWorkersExceedShapes(t *testing.T) {
 	items := FractureBatch([]Polygon{square(60)}, DefaultParams(), MethodGSC, nil, 32)
 	if len(items) != 1 || items[0].Err != nil {
 		t.Fatalf("items = %+v", items)
+	}
+}
+
+func TestFractureBatchCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancel before dispatch: every item must carry ctx.Err()
+	targets := []Polygon{square(60), square(70), square(80)}
+	items := FractureBatchCtx(ctx, targets, DefaultParams(), MethodProtoEDA, nil, 2)
+	if len(items) != 3 {
+		t.Fatalf("items = %d", len(items))
+	}
+	for i, it := range items {
+		if it.Index != i {
+			t.Errorf("item %d has index %d", i, it.Index)
+		}
+		if !errors.Is(it.Err, context.Canceled) {
+			t.Errorf("item %d: err = %v, want context.Canceled", i, it.Err)
+		}
+	}
+}
+
+func TestFractureBatchCtxCancelMidway(t *testing.T) {
+	// cancel after the first shape completes; later shapes must carry
+	// ctx.Err() while earlier results stay intact
+	ctx, cancel := context.WithCancel(context.Background())
+	targets := make([]Polygon, 12)
+	for i := range targets {
+		targets[i] = square(60 + float64(i))
+	}
+	// a single worker serializes the batch, so cancelling early leaves
+	// most shapes undispatched
+	done := make(chan []BatchItem)
+	go func() {
+		done <- FractureBatchCached(ctx, targets, DefaultParams(), MethodProtoEDA, nil, 1, nil)
+	}()
+	cancel()
+	items := <-done
+	var sawCancel bool
+	for i, it := range items {
+		if it.Err != nil {
+			if !errors.Is(it.Err, context.Canceled) {
+				t.Errorf("item %d: err = %v", i, it.Err)
+			}
+			sawCancel = true
+		} else if it.Result == nil {
+			t.Errorf("item %d has neither result nor error", i)
+		}
+	}
+	if !sawCancel {
+		t.Skip("batch finished before cancellation took effect")
+	}
+}
+
+func TestFractureBatchErrorPaths(t *testing.T) {
+	// a batch mixing valid shapes and a degenerate polygon returns
+	// per-item errors in input order without poisoning siblings
+	targets := []Polygon{
+		square(70),
+		{{X: 0, Y: 0}, {X: 5, Y: 5}}, // degenerate: < 3 vertices
+		square(90),
+	}
+	items := FractureBatch(targets, DefaultParams(), MethodProtoEDA, nil, 3)
+	if items[1].Err == nil {
+		t.Error("degenerate polygon produced no error")
+	}
+	for _, i := range []int{0, 2} {
+		if items[i].Err != nil {
+			t.Errorf("sibling %d poisoned: %v", i, items[i].Err)
+		}
+		if items[i].Index != i || items[i].Result.ShotCount() == 0 {
+			t.Errorf("sibling %d: index %d, %v", i, items[i].Index, items[i].Result)
+		}
+	}
+
+	// an unknown method errors on every item, in input order
+	items = FractureBatch([]Polygon{square(60), square(80)}, DefaultParams(), Method("bogus"), nil, 2)
+	for i, it := range items {
+		if it.Err == nil {
+			t.Errorf("item %d: unknown method produced no error", i)
+		}
+		if it.Index != i {
+			t.Errorf("item %d has index %d", i, it.Index)
+		}
 	}
 }

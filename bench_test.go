@@ -20,6 +20,7 @@ package maskfrac
 // dominated by the same runs the paper reports in its runtime columns).
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -401,6 +402,85 @@ func BenchmarkBackscatter(b *testing.B) {
 			}
 			b.ReportMetric(float64(len(res.Shots)), "shots")
 			b.ReportMetric(float64(res.Stats.Fail()), "failing-px")
+		})
+	}
+}
+
+// BenchmarkShapeCache measures the content-addressed shape cache on a
+// repeated ILT clip: "miss" pays the full model-based solve, "hit"
+// only canonicalization, lookup and the frame mapping of the cached
+// shot list. The gap is the per-duplicate saving on a real mask, where
+// billions of polygons repeat a small shape dictionary.
+func BenchmarkShapeCache(b *testing.B) {
+	ilt, _ := suites()
+	clip := ilt[0].Target
+	params := DefaultParams()
+	ctx := context.Background()
+
+	b.Run("miss-mbf", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cache := NewShapeCache(16)
+			if _, _, err := FractureCached(ctx, clip, params, MethodMBF, nil, cache); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hit-mbf", func(b *testing.B) {
+		cache := NewShapeCache(16)
+		if _, _, err := FractureCached(ctx, clip, params, MethodMBF, nil, cache); err != nil {
+			b.Fatal(err)
+		}
+		// hits query a translated congruent copy, not the identical shape
+		moved := clip.Translate(geom.Pt(1500, -700))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, hit, err := FractureCached(ctx, moved, params, MethodMBF, nil, cache)
+			if err != nil || !hit {
+				b.Fatalf("hit=%v err=%v", hit, err)
+			}
+		}
+	})
+}
+
+// cacheBenchTargets builds a 100-shape mask with ~10 distinct shapes:
+// each of the ten ILT suite clips placed at ten translated positions.
+func cacheBenchTargets() []Polygon {
+	ilt, _ := suites()
+	targets := make([]Polygon, 0, 100)
+	for rep := 0; rep < 10; rep++ {
+		for _, bm := range ilt {
+			targets = append(targets, bm.Target.Translate(geom.Pt(float64(rep)*2048, float64(rep)*512)))
+		}
+	}
+	return targets
+}
+
+// BenchmarkBatchCache runs the 100-shape/10-distinct batch with and
+// without the shape cache. With the cache, each congruence class is
+// solved once and the other ninety shapes are served by lookup.
+func BenchmarkBatchCache(b *testing.B) {
+	targets := cacheBenchTargets()
+	params := DefaultParams()
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name   string
+		cached bool
+	}{{"uncached", false}, {"cached", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var cache *ShapeCache
+				if tc.cached {
+					cache = NewShapeCache(64)
+				}
+				items := FractureBatchCached(ctx, targets, params, MethodProtoEDA, nil, 0, cache)
+				s := Summarize(items)
+				if s.Errors != 0 {
+					b.Fatalf("batch errors: %+v", s)
+				}
+				if tc.cached && s.CacheHits != 90 {
+					b.Fatalf("cache hits = %d, want 90", s.CacheHits)
+				}
+			}
 		})
 	}
 }

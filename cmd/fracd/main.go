@@ -1,0 +1,91 @@
+// Command fracd is the mask fracturing daemon: an HTTP JSON service
+// exposing the maskfrac solvers behind a bounded worker pool and a
+// content-addressed shape cache, so congruent repeated shapes across
+// requests fracture once per congruence class.
+//
+// Usage:
+//
+//	fracd [-addr :8337] [-workers N] [-queue 256] [-cache-entries 4096]
+//	      [-timeout 60s] [-max-timeout 10m] [-max-shapes 4096]
+//	      [-sigma 6.25] [-gamma 2] [-lmin 8]
+//
+// Endpoints: POST /fracture, GET /healthz, GET /stats. SIGINT/SIGTERM
+// shut the daemon down gracefully, draining in-flight requests.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"maskfrac"
+	"maskfrac/internal/fracserve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8337", "listen address")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "solver worker pool size")
+		queue      = flag.Int("queue", 256, "bounded work queue depth (overflow returns 429)")
+		cacheSize  = flag.Int("cache-entries", 4096, "shape cache entry bound (negative disables the cache)")
+		timeout    = flag.Duration("timeout", 60*time.Second, "default per-request deadline")
+		maxTimeout = flag.Duration("max-timeout", 10*time.Minute, "clamp for client-supplied deadlines")
+		maxShapes  = flag.Int("max-shapes", 4096, "per-request batch size limit")
+		drain      = flag.Duration("drain", 2*time.Minute, "graceful shutdown drain budget")
+		sigma      = flag.Float64("sigma", 6.25, "default e-beam blur sigma in nm")
+		gamma      = flag.Float64("gamma", 2, "default CD tolerance in nm")
+		lmin       = flag.Float64("lmin", 8, "default minimum shot size in nm")
+	)
+	flag.Parse()
+
+	params := maskfrac.DefaultParams()
+	params.Sigma = *sigma
+	params.Gamma = *gamma
+	params.Lmin = *lmin
+
+	srv := fracserve.New(fracserve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		Params:         params,
+		CacheEntries:   *cacheSize,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxShapes:      *maxShapes,
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("fracd: listen %s: %v", *addr, err)
+	}
+	log.Printf("fracd: serving on %s (%d workers, queue %d, cache %d entries)",
+		l.Addr(), *workers, *queue, *cacheSize)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("fracd: %v received, draining", s)
+	case err := <-serveErr:
+		if err != nil {
+			log.Fatalf("fracd: serve: %v", err)
+		}
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("fracd: shutdown: %v", err)
+		os.Exit(1)
+	}
+	log.Print("fracd: drained, bye")
+}

@@ -4,11 +4,16 @@
 //
 //	fracture -in shapes.msk [-shape NAME] [-method mbf|gsc|mp|proto-eda|partition]
 //	         [-out shots.txt] [-svg out.svg] [-sigma 6.25] [-gamma 2] [-lmin 8]
+//	fracture -batch -in shapes.msk [-workers N] [-cache 4096]
 //
-// Without -in it fractures the first built-in ILT benchmark clip.
+// Without -in it fractures the first built-in ILT benchmark clip (or,
+// with -batch, the whole built-in suite). Batch mode fractures every
+// shape in the file concurrently through the content-addressed shape
+// cache, so congruent repeated shapes run the solver once.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,25 +26,36 @@ import (
 
 func main() {
 	var (
-		in     = flag.String("in", "", "input .msk shape file (default: built-in ILT-1)")
-		shape  = flag.String("shape", "", "shape name to fracture (default: first in file)")
-		method = flag.String("method", "mbf", "fracturing method: mbf, gsc, mp, proto-eda, partition")
-		out    = flag.String("out", "", "write the shot list to this file")
-		svgOut = flag.String("svg", "", "render target + shots to this SVG file")
-		sigma  = flag.Float64("sigma", 6.25, "e-beam blur sigma in nm")
-		gamma  = flag.Float64("gamma", 2, "CD tolerance in nm")
-		lmin   = flag.Float64("lmin", 8, "minimum shot size in nm")
+		in      = flag.String("in", "", "input .msk shape file (default: built-in ILT-1)")
+		shape   = flag.String("shape", "", "shape name to fracture (default: first in file)")
+		method  = flag.String("method", "mbf", "fracturing method: mbf, gsc, mp, proto-eda, partition")
+		out     = flag.String("out", "", "write the shot list to this file")
+		svgOut  = flag.String("svg", "", "render target + shots to this SVG file")
+		sigma   = flag.Float64("sigma", 6.25, "e-beam blur sigma in nm")
+		gamma   = flag.Float64("gamma", 2, "CD tolerance in nm")
+		lmin    = flag.Float64("lmin", 8, "minimum shot size in nm")
+		batch   = flag.Bool("batch", false, "fracture every shape in the file concurrently")
+		workers = flag.Int("workers", 0, "batch worker count (0 = GOMAXPROCS)")
+		cacheN  = flag.Int("cache", 4096, "batch shape cache entry bound (0 disables)")
 	)
 	flag.Parse()
+
+	params := maskfrac.DefaultParams()
+	params.Sigma = *sigma
+	params.Gamma = *gamma
+	params.Lmin = *lmin
+
+	if *batch {
+		if err := runBatch(*in, params, maskfrac.Method(*method), *workers, *cacheN); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	target, name, err := loadTarget(*in, *shape)
 	if err != nil {
 		fatal(err)
 	}
-	params := maskfrac.DefaultParams()
-	params.Sigma = *sigma
-	params.Gamma = *gamma
-	params.Lmin = *lmin
 	prob, err := maskfrac.NewProblem(target, params)
 	if err != nil {
 		fatal(err)
@@ -74,6 +90,71 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *svgOut)
 	}
+}
+
+// runBatch fractures every shape of the file (or the built-in suite)
+// concurrently through the shape cache and prints per-shape lines plus
+// totals and cache counters.
+func runBatch(path string, params maskfrac.Params, method maskfrac.Method, workers, cacheEntries int) error {
+	shapes, err := loadAll(path)
+	if err != nil {
+		return err
+	}
+	var cache *maskfrac.ShapeCache
+	if cacheEntries > 0 {
+		cache = maskfrac.NewShapeCache(cacheEntries)
+	}
+	items := maskfrac.FractureBatchCached(context.Background(), polys(shapes), params, method, nil, workers, cache)
+	for i, it := range items {
+		name := shapes[i].Name
+		if it.Err != nil {
+			fmt.Printf("%-12s ERROR %v\n", name, it.Err)
+			continue
+		}
+		hit := ""
+		if it.CacheHit {
+			hit = " (cache hit)"
+		}
+		fmt.Printf("%-12s %4d shots, %3d failing, %7.3fs solve%s\n",
+			name, it.Result.ShotCount(), it.Result.FailingPixels(), it.Result.Runtime.Seconds(), hit)
+	}
+	s := maskfrac.Summarize(items)
+	fmt.Printf("batch: %d shapes, %d errors, %d shots, %d feasible, %d cache hits\n",
+		s.Shapes, s.Errors, s.Shots, s.Feasible, s.CacheHits)
+	if cache != nil {
+		cs := cache.Stats()
+		fmt.Printf("cache: %d hits, %d misses, %d evictions, %d entries (~%d KiB)\n",
+			cs.Hits, cs.Misses, cs.Evictions, cs.Entries, cs.Bytes/1024)
+	}
+	return nil
+}
+
+// loadAll reads every shape of the file, falling back to the built-in
+// ILT suite.
+func loadAll(path string) ([]maskio.NamedShape, error) {
+	if path == "" {
+		suite := maskfrac.ILTSuite()
+		shapes := make([]maskio.NamedShape, len(suite))
+		for i, b := range suite {
+			shapes[i] = maskio.NamedShape{Name: b.Name, Polygon: b.Target}
+		}
+		return shapes, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return maskio.ReadShapes(f)
+}
+
+// polys strips the names off a shape list.
+func polys(shapes []maskio.NamedShape) []maskfrac.Polygon {
+	out := make([]maskfrac.Polygon, len(shapes))
+	for i, s := range shapes {
+		out[i] = s.Polygon
+	}
+	return out
 }
 
 // loadTarget reads the requested shape, falling back to the first

@@ -1,0 +1,160 @@
+package fracserve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"maskfrac/internal/geom"
+	"maskfrac/internal/maskio"
+)
+
+// ErrQueueFull is returned by the client when the server rejects a
+// request because its work queue is at capacity (HTTP 429).
+var ErrQueueFull = errors.New("fracserve: server queue full")
+
+// ErrDeadline is returned when the server abandons a request at its
+// deadline (HTTP 504).
+var ErrDeadline = errors.New("fracserve: server deadline exceeded")
+
+// Client talks to a fracturing daemon.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8337".
+	BaseURL string
+	// HTTPClient overrides http.DefaultClient when non-nil.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the daemon at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// Do sends a raw fracture request.
+func (c *Client) Do(ctx context.Context, req *Request) (*Response, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("fracserve: encode request: %w", err)
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/fracture", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, statusError(resp)
+	}
+	var out Response
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("fracserve: decode response: %w", err)
+	}
+	return &out, nil
+}
+
+// Fracture fractures one shape with the given method ("" selects the
+// server default) and returns its result.
+func (c *Client) Fracture(ctx context.Context, shape geom.Polygon, method string) (*ItemResult, error) {
+	resp, err := c.Do(ctx, &Request{Shape: maskio.PolygonWire(shape), Method: method})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != 1 {
+		return nil, fmt.Errorf("fracserve: server returned %d results for one shape", len(resp.Results))
+	}
+	item := resp.Results[0]
+	if item.Error != "" {
+		return nil, fmt.Errorf("fracserve: %s", item.Error)
+	}
+	return &item, nil
+}
+
+// FractureBatch fractures a batch of shapes with the given method.
+// Per-shape failures are reported inside the response items, not as an
+// error.
+func (c *Client) FractureBatch(ctx context.Context, shapes []geom.Polygon, method string) (*Response, error) {
+	wires := make([][][2]float64, len(shapes))
+	for i, s := range shapes {
+		wires[i] = maskio.PolygonWire(s)
+	}
+	return c.Do(ctx, &Request{Shapes: wires, Method: method})
+}
+
+// ShotRects decodes the shot list of a result item.
+func (ir *ItemResult) ShotRects() ([]geom.Rect, error) {
+	return maskio.ShotsFromWire(ir.Shots)
+}
+
+// Stats fetches the server statistics.
+func (c *Client) Stats(ctx context.Context) (*StatsReply, error) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, statusError(resp)
+	}
+	var out StatsReply
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("fracserve: decode stats: %w", err)
+	}
+	return &out, nil
+}
+
+// Healthz probes the server's liveness endpoint.
+func (c *Client) Healthz(ctx context.Context) error {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(hr)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return statusError(resp)
+	}
+	return nil
+}
+
+// statusError maps a non-2xx reply to a Go error, preserving the
+// server's message and using sentinel errors for backpressure codes.
+func statusError(resp *http.Response) error {
+	msg := ""
+	var er ErrorReply
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(body, &er) == nil && er.Error != "" {
+		msg = er.Error
+	} else {
+		msg = strings.TrimSpace(string(body))
+	}
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests:
+		return fmt.Errorf("%w: %s", ErrQueueFull, msg)
+	case http.StatusGatewayTimeout:
+		return fmt.Errorf("%w: %s", ErrDeadline, msg)
+	}
+	return fmt.Errorf("fracserve: HTTP %d: %s", resp.StatusCode, msg)
+}

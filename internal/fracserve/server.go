@@ -1,0 +1,465 @@
+package fracserve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"maskfrac"
+	"maskfrac/internal/geom"
+	"maskfrac/internal/maskio"
+)
+
+// Config tunes a fracturing server. Zero values select the defaults
+// noted on each field.
+type Config struct {
+	// Workers is the solver pool size (default GOMAXPROCS via
+	// maskfrac's convention; here default 4).
+	Workers int
+	// QueueDepth bounds the number of shapes waiting for a worker;
+	// requests that would overflow it are rejected with 429 (default
+	// 64).
+	QueueDepth int
+	// Params are the server's default fracturing parameters
+	// (default maskfrac.DefaultParams()).
+	Params maskfrac.Params
+	// CacheEntries bounds the shape cache; 0 selects 4096 and a
+	// negative value disables caching.
+	CacheEntries int
+	// DefaultTimeout caps requests that carry no timeout_ms
+	// (default 60s).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps client-supplied timeouts (default 10m).
+	MaxTimeout time.Duration
+	// MaxShapes bounds the batch size of one request (default 4096).
+	MaxShapes int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Params == (maskfrac.Params{}) {
+		c.Params = maskfrac.DefaultParams()
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Minute
+	}
+	if c.MaxShapes <= 0 {
+		c.MaxShapes = 4096
+	}
+	return c
+}
+
+// job is one shape waiting for a solver worker.
+type job struct {
+	ctx     context.Context
+	target  geom.Polygon
+	params  maskfrac.Params
+	method  maskfrac.Method
+	opt     *maskfrac.Options
+	idx     int
+	results []ItemResult
+	omit    bool
+	wg      *sync.WaitGroup
+}
+
+// methodAgg accumulates per-method serving statistics.
+type methodAgg struct {
+	count     uint64
+	errors    uint64
+	cacheHits uint64
+	shots     uint64
+	solve     time.Duration
+}
+
+// Server is the fracturing daemon: an HTTP handler backed by a bounded
+// worker pool, a request queue and a content-addressed shape cache.
+type Server struct {
+	cfg   Config
+	cache *maskfrac.ShapeCache
+	jobs  chan *job
+	mux   *http.ServeMux
+
+	workerWg sync.WaitGroup
+	httpSrv  *http.Server
+	stopOnce sync.Once
+
+	start time.Time
+
+	mu         sync.Mutex
+	requests   uint64
+	rejected   uint64
+	timeouts   uint64
+	shapesDone uint64
+	methods    map[string]*methodAgg
+
+	// workDelay stalls each job before solving; tests use it to hold
+	// the queue full or exceed request deadlines deterministically.
+	workDelay time.Duration
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		jobs:    make(chan *job, cfg.QueueDepth),
+		methods: make(map[string]*methodAgg),
+		start:   time.Now(),
+	}
+	if cfg.CacheEntries >= 0 {
+		s.cache = maskfrac.NewShapeCache(cfg.CacheEntries)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fracture", s.handleFracture)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	s.mux = mux
+	s.httpSrv = &http.Server{Handler: mux}
+	for i := 0; i < cfg.Workers; i++ {
+		s.workerWg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP handler serving the endpoints.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on l until Shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	err := s.httpSrv.Serve(l)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// ListenAndServe binds addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Shutdown drains the server gracefully: it stops accepting
+// connections, waits for in-flight requests (and therefore their queued
+// shapes) to finish within ctx, then stops the worker pool.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	s.stopOnce.Do(func() {
+		err = s.httpSrv.Shutdown(ctx)
+		close(s.jobs)
+		done := make(chan struct{})
+		go func() {
+			s.workerWg.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			if err == nil {
+				err = ctx.Err()
+			}
+		}
+	})
+	return err
+}
+
+// worker pulls shapes off the queue and solves them.
+func (s *Server) worker() {
+	defer s.workerWg.Done()
+	for j := range s.jobs {
+		s.run(j)
+	}
+}
+
+// run solves one queued shape and records its result and statistics.
+func (s *Server) run(j *job) {
+	defer j.wg.Done()
+	if s.workDelay > 0 {
+		select {
+		case <-time.After(s.workDelay):
+		case <-j.ctx.Done():
+		}
+	}
+	item := ItemResult{Index: j.idx}
+	if err := j.ctx.Err(); err != nil {
+		item.Error = err.Error()
+		j.results[j.idx] = item
+		s.record(j.method, &item)
+		return
+	}
+	res, hit, err := maskfrac.FractureCached(j.ctx, j.target, j.params, j.method, j.opt, s.cache)
+	if err != nil {
+		item.Error = err.Error()
+	} else {
+		item.ShotCount = res.ShotCount()
+		item.FailOn = res.FailOn
+		item.FailOff = res.FailOff
+		item.Cost = res.Cost
+		item.Feasible = res.Feasible()
+		item.CacheHit = hit
+		item.SolveMS = float64(res.Runtime) / float64(time.Millisecond)
+		item.EvalMS = float64(res.EvalTime) / float64(time.Millisecond)
+		if !j.omit {
+			item.Shots = maskio.ShotsWire(res.Shots)
+		}
+	}
+	j.results[j.idx] = item
+	s.record(j.method, &item)
+}
+
+// record folds a finished item into the per-method aggregates.
+func (s *Server) record(m maskfrac.Method, item *ItemResult) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.shapesDone++
+	agg := s.methods[string(m)]
+	if agg == nil {
+		agg = &methodAgg{}
+		s.methods[string(m)] = agg
+	}
+	agg.count++
+	if item.Error != "" {
+		agg.errors++
+		return
+	}
+	if item.CacheHit {
+		agg.cacheHits++
+	}
+	agg.shots += uint64(item.ShotCount)
+	agg.solve += time.Duration(item.SolveMS * float64(time.Millisecond))
+}
+
+// handleFracture serves POST /fracture.
+func (s *Server) handleFracture(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	s.mu.Lock()
+	s.requests++
+	s.mu.Unlock()
+
+	var req Request
+	r.Body = http.MaxBytesReader(w, r.Body, 256<<20)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	wires := req.Shapes
+	if req.Shape != nil {
+		if wires != nil {
+			writeError(w, http.StatusBadRequest, "set shape or shapes, not both")
+			return
+		}
+		wires = [][][2]float64{req.Shape}
+	}
+	if len(wires) == 0 {
+		writeError(w, http.StatusBadRequest, "no shapes")
+		return
+	}
+	if len(wires) > s.cfg.MaxShapes {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("%d shapes exceeds the per-request limit of %d", len(wires), s.cfg.MaxShapes))
+		return
+	}
+	method := maskfrac.MethodMBF
+	if req.Method != "" {
+		method = maskfrac.Method(req.Method)
+		if !knownMethod(method) {
+			writeError(w, http.StatusBadRequest, "unknown method "+req.Method)
+			return
+		}
+	}
+	params := s.cfg.Params
+	if req.Params != nil {
+		params = mergeParams(params, *req.Params)
+	}
+	var opt *maskfrac.Options
+	if req.Options != nil {
+		opt = &maskfrac.Options{
+			MaxIterations:  req.Options.MaxIterations,
+			ColoringOrder:  req.Options.ColoringOrder,
+			SkipRefinement: req.Options.SkipRefinement,
+		}
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	results := make([]ItemResult, len(wires))
+	var wg sync.WaitGroup
+	for i, wire := range wires {
+		target, err := maskio.PolygonFromWire(wire)
+		if err != nil {
+			results[i] = ItemResult{Index: i, Error: err.Error()}
+			continue
+		}
+		j := &job{
+			ctx: ctx, target: target, params: params, method: method,
+			opt: opt, idx: i, results: results, omit: req.OmitShots, wg: &wg,
+		}
+		wg.Add(1)
+		select {
+		case s.jobs <- j:
+		default:
+			// queue full: reject the whole request; jobs already queued
+			// see the cancelled context and drain as no-ops
+			wg.Done()
+			cancel()
+			s.mu.Lock()
+			s.rejected++
+			s.mu.Unlock()
+			writeError(w, http.StatusTooManyRequests, "queue full, retry later")
+			return
+		}
+	}
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.mu.Lock()
+		s.timeouts++
+		s.mu.Unlock()
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded: "+ctx.Err().Error())
+		return
+	}
+
+	resp := Response{Results: results}
+	for _, it := range results {
+		resp.Summary.Shapes++
+		if it.Error != "" {
+			resp.Summary.Errors++
+			continue
+		}
+		resp.Summary.Shots += it.ShotCount
+		if it.Feasible {
+			resp.Summary.Feasible++
+		}
+		if it.CacheHit {
+			resp.Summary.CacheHits++
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// handleStats serves GET /stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	reply := StatsReply{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      s.requests,
+		Rejected:      s.rejected,
+		Timeouts:      s.timeouts,
+		ShapesDone:    s.shapesDone,
+		QueueDepth:    len(s.jobs),
+		QueueCapacity: s.cfg.QueueDepth,
+		Workers:       s.cfg.Workers,
+		Methods:       make(map[string]MethodStats, len(s.methods)),
+	}
+	for name, agg := range s.methods {
+		ms := MethodStats{
+			Count:        agg.count,
+			Errors:       agg.errors,
+			CacheHits:    agg.cacheHits,
+			Shots:        agg.shots,
+			TotalSolveMS: float64(agg.solve) / float64(time.Millisecond),
+		}
+		if n := agg.count - agg.errors; n > 0 {
+			ms.AvgSolveMS = ms.TotalSolveMS / float64(n)
+		}
+		reply.Methods[name] = ms
+	}
+	s.mu.Unlock()
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		reply.Cache = CacheStatsWire{
+			Hits:       cs.Hits,
+			Misses:     cs.Misses,
+			Evictions:  cs.Evictions,
+			Entries:    cs.Entries,
+			Bytes:      cs.Bytes,
+			MaxEntries: cs.MaxEntries,
+		}
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+// knownMethod reports whether m is a supported fracturing method.
+func knownMethod(m maskfrac.Method) bool {
+	for _, k := range maskfrac.Methods() {
+		if m == k {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeParams overlays non-zero wire fields on the base parameters.
+func mergeParams(base maskfrac.Params, w ParamsWire) maskfrac.Params {
+	if w.Sigma != 0 {
+		base.Sigma = w.Sigma
+	}
+	if w.Gamma != 0 {
+		base.Gamma = w.Gamma
+	}
+	if w.Rho != 0 {
+		base.Rho = w.Rho
+	}
+	if w.Pitch != 0 {
+		base.Pitch = w.Pitch
+	}
+	if w.Lmin != 0 {
+		base.Lmin = w.Lmin
+	}
+	if w.Beta != 0 {
+		base.Beta = w.Beta
+	}
+	if w.Eta != 0 {
+		base.Eta = w.Eta
+	}
+	return base
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, ErrorReply{Error: msg})
+}

@@ -1,0 +1,275 @@
+package fracserve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"maskfrac"
+	"maskfrac/internal/geom"
+)
+
+func testShape(side float64) geom.Polygon {
+	return geom.Polygon{{X: 0, Y: 0}, {X: side, Y: 0}, {X: side, Y: side}, {X: 0, Y: side}}
+}
+
+func testL() geom.Polygon {
+	return geom.Polygon{
+		{X: 0, Y: 0}, {X: 90, Y: 0}, {X: 90, Y: 30},
+		{X: 30, Y: 30}, {X: 30, Y: 120}, {X: 0, Y: 120},
+	}
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *Client) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, NewClient(ts.URL)
+}
+
+func TestE2ESuccessfulBatch(t *testing.T) {
+	s, c := newTestServer(t, Config{Workers: 4, QueueDepth: 32})
+	ctx := context.Background()
+	if err := c.Healthz(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	shapes := []geom.Polygon{
+		testL(),
+		testL().Translate(geom.Pt(500, 100)), // congruent: cache hit
+		testShape(70),
+		{{X: 0, Y: 0}, {X: 1, Y: 1}}, // degenerate: per-item error
+	}
+	resp, err := c.FractureBatch(ctx, shapes, "proto-eda")
+	if err != nil {
+		t.Fatalf("fracture batch: %v", err)
+	}
+	if len(resp.Results) != 4 {
+		t.Fatalf("results = %d", len(resp.Results))
+	}
+	for i, it := range resp.Results {
+		if it.Index != i {
+			t.Errorf("result %d has index %d", i, it.Index)
+		}
+	}
+	if resp.Results[3].Error == "" {
+		t.Error("degenerate shape produced no error")
+	}
+	for _, i := range []int{0, 1, 2} {
+		it := resp.Results[i]
+		if it.Error != "" {
+			t.Errorf("shape %d failed: %s", i, it.Error)
+		}
+		if it.ShotCount == 0 || len(it.Shots) != it.ShotCount {
+			t.Errorf("shape %d: %d shots, %d on wire", i, it.ShotCount, len(it.Shots))
+		}
+		if _, err := it.ShotRects(); err != nil {
+			t.Errorf("shape %d: bad wire shots: %v", i, err)
+		}
+	}
+	// shapes 0 and 1 are congruent: exactly one computes, the other is
+	// served from the cache. Which one waits depends on worker
+	// scheduling (singleflight), so assert the pair, not an index.
+	if resp.Results[0].CacheHit == resp.Results[1].CacheHit {
+		t.Errorf("congruent pair cache hits = %v/%v, want exactly one",
+			resp.Results[0].CacheHit, resp.Results[1].CacheHit)
+	}
+	if resp.Results[0].ShotCount != resp.Results[1].ShotCount {
+		t.Error("congruent shapes differ in shot count")
+	}
+	if resp.Summary.Shapes != 4 || resp.Summary.Errors != 1 || resp.Summary.CacheHits == 0 {
+		t.Errorf("summary = %+v", resp.Summary)
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st.Requests == 0 || st.ShapesDone < 3 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Cache.Hits == 0 || st.Cache.Misses == 0 {
+		t.Errorf("cache stats = %+v", st.Cache)
+	}
+	if st.Methods["proto-eda"].Count == 0 {
+		t.Errorf("method stats missing: %+v", st.Methods)
+	}
+	_ = s
+}
+
+func TestE2EQueueOverflow429(t *testing.T) {
+	// one worker stalled long enough to hold jobs in a depth-1 queue
+	s := New(Config{Workers: 1, QueueDepth: 1})
+	s.workDelay = 300 * time.Millisecond
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	c := NewClient(ts.URL)
+	ctx := context.Background()
+
+	// the first batch occupies the worker and fills the queue; a
+	// concurrent one must overflow
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.FractureBatch(ctx, []geom.Polygon{testShape(60), testShape(62)}, "proto-eda")
+	}()
+	time.Sleep(50 * time.Millisecond) // let the first batch enqueue
+
+	sawOverflow := false
+	for i := 0; i < 10 && !sawOverflow; i++ {
+		_, err := c.FractureBatch(ctx, []geom.Polygon{testShape(64), testShape(66)}, "proto-eda")
+		if errors.Is(err, ErrQueueFull) {
+			sawOverflow = true
+		} else if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	wg.Wait()
+	if !sawOverflow {
+		t.Fatal("no 429 despite a full queue")
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rejected == 0 {
+		t.Errorf("rejected counter = 0, stats %+v", st)
+	}
+}
+
+func TestE2EPerRequestDeadline(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 8})
+	s.workDelay = 500 * time.Millisecond
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	c := NewClient(ts.URL)
+
+	_, err := c.Do(context.Background(), &Request{
+		Shape:     [][2]float64{{0, 0}, {60, 0}, {60, 60}, {0, 60}},
+		Method:    "proto-eda",
+		TimeoutMS: 50,
+	})
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Timeouts == 0 {
+		t.Errorf("timeout counter = 0, stats %+v", st)
+	}
+}
+
+func TestE2EGracefulShutdownDrainsInFlight(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 8})
+	s.workDelay = 200 * time.Millisecond
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(l) }()
+	c := NewClient("http://" + l.Addr().String())
+
+	type reply struct {
+		resp *Response
+		err  error
+	}
+	inFlight := make(chan reply, 1)
+	go func() {
+		resp, err := c.FractureBatch(context.Background(), []geom.Polygon{testShape(70)}, "proto-eda")
+		inFlight <- reply{resp, err}
+	}()
+	time.Sleep(50 * time.Millisecond) // let the request reach the queue
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(shutCtx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	r := <-inFlight
+	if r.err != nil {
+		t.Fatalf("in-flight request failed during shutdown: %v", r.err)
+	}
+	if len(r.resp.Results) != 1 || r.resp.Results[0].Error != "" || r.resp.Results[0].ShotCount == 0 {
+		t.Errorf("in-flight result = %+v", r.resp.Results)
+	}
+	if err := <-serveDone; err != nil {
+		t.Errorf("serve returned %v", err)
+	}
+	// new connections are refused after shutdown
+	if err := c.Healthz(context.Background()); err == nil {
+		t.Error("healthz succeeded after shutdown")
+	}
+}
+
+func TestE2EBadRequests(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	ctx := context.Background()
+	if _, err := c.Do(ctx, &Request{}); err == nil {
+		t.Error("empty request accepted")
+	}
+	if _, err := c.Do(ctx, &Request{Shape: [][2]float64{{0, 0}, {60, 0}, {60, 60}, {0, 60}}, Method: "bogus"}); err == nil {
+		t.Error("unknown method accepted")
+	}
+	if _, err := c.Do(ctx, &Request{
+		Shape:  [][2]float64{{0, 0}, {60, 0}, {60, 60}, {0, 60}},
+		Shapes: [][][2]float64{{{0, 0}, {60, 0}, {60, 60}, {0, 60}}},
+	}); err == nil {
+		t.Error("shape+shapes accepted")
+	}
+}
+
+func TestE2EOmitShotsAndParamsOverride(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+	resp, err := c.Do(context.Background(), &Request{
+		Shape:     [][2]float64{{0, 0}, {80, 0}, {80, 80}, {0, 80}},
+		Method:    "proto-eda",
+		Params:    &ParamsWire{Gamma: 3},
+		OmitShots: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := resp.Results[0]
+	if it.Error != "" {
+		t.Fatalf("item error: %s", it.Error)
+	}
+	if it.Shots != nil {
+		t.Error("shots present despite omit_shots")
+	}
+	if it.ShotCount == 0 {
+		t.Error("shot count missing")
+	}
+}
+
+func TestServerCacheDisabled(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 2, QueueDepth: 8, CacheEntries: -1})
+	shapes := []geom.Polygon{testL(), testL().Translate(geom.Pt(10, 10))}
+	resp, err := c.FractureBatch(context.Background(), shapes, "proto-eda")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range resp.Results {
+		if it.CacheHit {
+			t.Errorf("item %d hit a disabled cache", i)
+		}
+	}
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cache.MaxEntries != 0 {
+		t.Errorf("cache stats reported despite disabled cache: %+v", st.Cache)
+	}
+}
+
+// compile-time check that the maskfrac default method list stays in
+// sync with the server's validation.
+var _ = maskfrac.Methods

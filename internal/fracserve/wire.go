@@ -1,0 +1,119 @@
+// Package fracserve is the long-running fracturing service: an HTTP
+// JSON daemon exposing the maskfrac solvers behind a bounded worker
+// pool and a content-addressed shape cache, plus the Go client for it.
+//
+// Endpoints:
+//
+//	POST /fracture — fracture one shape or a batch (Request/Response)
+//	GET  /healthz  — liveness probe
+//	GET  /stats    — cache counters, queue depth, per-method aggregates
+package fracserve
+
+// Request is the POST /fracture body. Exactly one of Shape or Shapes
+// must be set. Zero-valued fields select the server's defaults.
+type Request struct {
+	// Shape is a single polygon as a [[x,y], ...] vertex list.
+	Shape [][2]float64 `json:"shape,omitempty"`
+	// Shapes is a batch of polygons, fractured concurrently.
+	Shapes [][][2]float64 `json:"shapes,omitempty"`
+	// Method is the fracturing method (default "mbf").
+	Method string `json:"method,omitempty"`
+	// Params overrides the server's fracturing parameters.
+	Params *ParamsWire `json:"params,omitempty"`
+	// Options tunes the selected method.
+	Options *OptionsWire `json:"options,omitempty"`
+	// TimeoutMS caps this request's wall time in milliseconds; 0
+	// selects the server default. The server clamps it to its maximum.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// OmitShots drops the shot lists from the response, returning only
+	// counts and evaluation results (useful for large batches).
+	OmitShots bool `json:"omit_shots,omitempty"`
+}
+
+// ParamsWire mirrors maskfrac.Params on the wire. Zero-valued fields
+// inherit the server's defaults.
+type ParamsWire struct {
+	Sigma float64 `json:"sigma,omitempty"`
+	Gamma float64 `json:"gamma,omitempty"`
+	Rho   float64 `json:"rho,omitempty"`
+	Pitch float64 `json:"pitch,omitempty"`
+	Lmin  float64 `json:"lmin,omitempty"`
+	Beta  float64 `json:"beta,omitempty"`
+	Eta   float64 `json:"eta,omitempty"`
+}
+
+// OptionsWire mirrors maskfrac.Options on the wire.
+type OptionsWire struct {
+	MaxIterations  int    `json:"max_iterations,omitempty"`
+	ColoringOrder  string `json:"coloring_order,omitempty"`
+	SkipRefinement bool   `json:"skip_refinement,omitempty"`
+}
+
+// ItemResult is the outcome for one shape of a request, in input order.
+type ItemResult struct {
+	Index     int          `json:"index"`
+	Error     string       `json:"error,omitempty"`
+	Shots     [][4]float64 `json:"shots,omitempty"`
+	ShotCount int          `json:"shot_count"`
+	FailOn    int          `json:"fail_on"`
+	FailOff   int          `json:"fail_off"`
+	Cost      float64      `json:"cost"`
+	Feasible  bool         `json:"feasible"`
+	CacheHit  bool         `json:"cache_hit"`
+	SolveMS   float64      `json:"solve_ms"`
+	EvalMS    float64      `json:"eval_ms"`
+}
+
+// Summary aggregates a response.
+type Summary struct {
+	Shapes    int `json:"shapes"`
+	Errors    int `json:"errors"`
+	Shots     int `json:"shots"`
+	Feasible  int `json:"feasible"`
+	CacheHits int `json:"cache_hits"`
+}
+
+// Response is the POST /fracture reply.
+type Response struct {
+	Results []ItemResult `json:"results"`
+	Summary Summary      `json:"summary"`
+}
+
+// ErrorReply is the body of every non-2xx reply.
+type ErrorReply struct {
+	Error string `json:"error"`
+}
+
+// CacheStatsWire mirrors the shape-cache counters on the wire.
+type CacheStatsWire struct {
+	Hits       uint64 `json:"hits"`
+	Misses     uint64 `json:"misses"`
+	Evictions  uint64 `json:"evictions"`
+	Entries    int    `json:"entries"`
+	Bytes      int64  `json:"bytes"`
+	MaxEntries int    `json:"max_entries"`
+}
+
+// MethodStats aggregates completed work for one fracturing method.
+type MethodStats struct {
+	Count        uint64  `json:"count"`
+	Errors       uint64  `json:"errors"`
+	CacheHits    uint64  `json:"cache_hits"`
+	Shots        uint64  `json:"shots"`
+	TotalSolveMS float64 `json:"total_solve_ms"`
+	AvgSolveMS   float64 `json:"avg_solve_ms"`
+}
+
+// StatsReply is the GET /stats body.
+type StatsReply struct {
+	UptimeSeconds float64                `json:"uptime_seconds"`
+	Requests      uint64                 `json:"requests"`
+	Rejected      uint64                 `json:"rejected"` // 429s from queue overflow
+	Timeouts      uint64                 `json:"timeouts"` // per-request deadline expiries
+	ShapesDone    uint64                 `json:"shapes_done"`
+	QueueDepth    int                    `json:"queue_depth"`
+	QueueCapacity int                    `json:"queue_capacity"`
+	Workers       int                    `json:"workers"`
+	Cache         CacheStatsWire         `json:"cache"`
+	Methods       map[string]MethodStats `json:"methods"`
+}

@@ -1,0 +1,191 @@
+package shapecache
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"maskfrac/internal/geom"
+)
+
+// Entry is one cached fracturing solution, stored in the canonical
+// frame of its congruence class.
+type Entry struct {
+	// Shots is the solver's shot list mapped into the canonical frame.
+	Shots []geom.Rect
+	// Meta carries caller-defined solution metadata (evaluation counts,
+	// stage statistics, timings). The cache never inspects it.
+	Meta any
+	// Bytes is the caller's estimate of the entry's memory footprint,
+	// used for the Stats byte accounting.
+	Bytes int64
+}
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	Hits       uint64 // lookups answered from a stored entry
+	Misses     uint64 // lookups that ran the compute function
+	Evictions  uint64 // entries dropped by the LRU bound
+	Entries    int    // stored entries
+	Bytes      int64  // sum of stored entry Bytes estimates
+	MaxEntries int    // configured entry bound
+}
+
+// Cache is a concurrency-safe, content-addressed LRU cache of
+// fracturing solutions. Lookups for a key being computed by another
+// goroutine wait for that computation instead of duplicating it, so a
+// congruence class is solved exactly once even under concurrent load.
+type Cache struct {
+	mu        sync.Mutex
+	maxEntry  int
+	entries   map[Key]*list.Element
+	order     *list.List // front = most recently used; values are *lruItem
+	flights   map[Key]*flight
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	bytes     int64
+}
+
+type lruItem struct {
+	key   Key
+	entry *Entry
+}
+
+// flight is an in-progress computation other goroutines can wait on.
+type flight struct {
+	done  chan struct{}
+	entry *Entry
+	err   error
+}
+
+// New returns a cache bounded to maxEntries stored solutions;
+// maxEntries <= 0 selects a default of 4096.
+func New(maxEntries int) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = 4096
+	}
+	return &Cache{
+		maxEntry: maxEntries,
+		entries:  make(map[Key]*list.Element),
+		order:    list.New(),
+		flights:  make(map[Key]*flight),
+	}
+}
+
+// Get returns the entry stored under k, marking it most recently used.
+func (c *Cache) Get(k Key) (*Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e := c.getLocked(k); e != nil {
+		c.hits++
+		return e, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put stores e under k, evicting least-recently-used entries beyond
+// the bound.
+func (c *Cache) Put(k Key, e *Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.putLocked(k, e)
+}
+
+// Do returns the entry for k, computing and storing it with compute on
+// a miss. Concurrent calls for the same key run compute once; the rest
+// wait for its result (or their context). The boolean reports whether
+// the entry came from the cache or a concurrent computation rather than
+// this call's own compute. Errors are returned to every waiter and
+// never cached.
+func (c *Cache) Do(ctx context.Context, k Key, compute func() (*Entry, error)) (*Entry, bool, error) {
+	c.mu.Lock()
+	if e := c.getLocked(k); e != nil {
+		c.hits++
+		c.mu.Unlock()
+		return e, true, nil
+	}
+	if fl, ok := c.flights[k]; ok {
+		c.mu.Unlock()
+		select {
+		case <-fl.done:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+		if fl.err != nil {
+			return nil, false, fl.err
+		}
+		c.mu.Lock()
+		c.hits++
+		c.mu.Unlock()
+		return fl.entry, true, nil
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.flights[k] = fl
+	c.misses++
+	c.mu.Unlock()
+
+	e, err := compute()
+	fl.entry, fl.err = e, err
+	c.mu.Lock()
+	delete(c.flights, k)
+	if err == nil {
+		c.putLocked(k, e)
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return e, false, err
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:       c.hits,
+		Misses:     c.misses,
+		Evictions:  c.evictions,
+		Entries:    len(c.entries),
+		Bytes:      c.bytes,
+		MaxEntries: c.maxEntry,
+	}
+}
+
+// Len returns the number of stored entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+func (c *Cache) getLocked(k Key) *Entry {
+	el, ok := c.entries[k]
+	if !ok {
+		return nil
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruItem).entry
+}
+
+func (c *Cache) putLocked(k Key, e *Entry) {
+	if el, ok := c.entries[k]; ok {
+		it := el.Value.(*lruItem)
+		c.bytes += e.Bytes - it.entry.Bytes
+		it.entry = e
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[k] = c.order.PushFront(&lruItem{key: k, entry: e})
+	c.bytes += e.Bytes
+	for len(c.entries) > c.maxEntry {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		it := c.order.Remove(back).(*lruItem)
+		delete(c.entries, it.key)
+		c.bytes -= it.entry.Bytes
+		c.evictions++
+	}
+}

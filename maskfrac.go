@@ -132,12 +132,13 @@ func (pr *Problem) PixelCounts() (on, off int) { return pr.p.OnCount(), pr.p.Off
 
 // Result is the outcome of a fracturing run.
 type Result struct {
-	Method  Method
-	Shots   []Shot
-	FailOn  int           // failing interior pixels (dose below ρ)
-	FailOff int           // failing exterior pixels (dose at/above ρ)
-	Cost    float64       // Σ|Itot−ρ| over failing pixels (paper Eq. 5)
-	Runtime time.Duration // wall time of the run
+	Method   Method
+	Shots    []Shot
+	FailOn   int           // failing interior pixels (dose below ρ)
+	FailOff  int           // failing exterior pixels (dose at/above ρ)
+	Cost     float64       // Σ|Itot−ρ| over failing pixels (paper Eq. 5)
+	Runtime  time.Duration // wall time of the solver, excluding scoring
+	EvalTime time.Duration // wall time of the Evaluate scoring pass
 
 	// Stage holds coloring-stage statistics for MethodMBF runs, nil
 	// otherwise.
@@ -217,11 +218,13 @@ func (pr *Problem) Fracture(m Method, opt *Options) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("maskfrac: unknown method %q", m)
 	}
+	res.Runtime = time.Since(start)
+	evalStart := time.Now()
 	st := pr.p.Evaluate(res.Shots)
+	res.EvalTime = time.Since(evalStart)
 	res.FailOn = st.FailOn
 	res.FailOff = st.FailOff
 	res.Cost = st.Cost
-	res.Runtime = time.Since(start)
 	return res, nil
 }
 

@@ -1,0 +1,29 @@
+#!/bin/sh
+# check.sh — the repo's CI gate: formatting, vet, and the full test
+# suite under the race detector. Equivalent to `make check` for
+# environments without make.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:"
+	echo "$unformatted"
+	exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test =="
+go test ./...
+
+# -short skips the multi-minute fracturing integration suites, which are
+# too slow under the race detector; the concurrency-heavy tests
+# (shapecache, fracserve, batch, cache) all still run.
+echo "== go test -race -short =="
+go test -race -short ./...
+
+echo "check ok"
