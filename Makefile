@@ -29,9 +29,12 @@ test:
 race:
 	$(GO) test -race -short ./...
 
-# the cache benches report the hit-vs-miss and cached-vs-uncached gaps
+# bench runs the quick benchmarks with -benchmem and records the
+# results to BENCH_<date>.json; pass BENCH='.' BENCHTIME=3x to widen it
+BENCH ?= BenchmarkShapeCache|BenchmarkBatchCache
+BENCHTIME ?= 1x
 bench:
-	$(GO) test -run xxx -bench 'BenchmarkShapeCache|BenchmarkBatchCache' -benchtime 3x .
+	sh scripts/benchstat.sh '$(BENCH)' '$(BENCHTIME)'
 
 check: fmt vet test race
 	@echo "check ok"

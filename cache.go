@@ -7,6 +7,7 @@ import (
 
 	"maskfrac/internal/maskio"
 	"maskfrac/internal/shapecache"
+	"maskfrac/internal/telemetry"
 )
 
 // ShapeCache is a content-addressed cache of fracturing solutions.
@@ -62,7 +63,7 @@ func FractureCached(ctx context.Context, target Polygon, params Params, m Method
 		return nil, false, err
 	}
 	if cache == nil {
-		res, err := fractureDirect(target, params, m, opt)
+		res, err := fractureDirect(ctx, target, params, m, opt)
 		return res, false, err
 	}
 	if err := target.Validate(); err != nil {
@@ -72,7 +73,7 @@ func FractureCached(ctx context.Context, target Polygon, params Params, m Method
 	key := canon.KeyWith(fractureKeyExtra(params, m, opt))
 	var computed *Result
 	entry, hit, err := cache.c.Do(ctx, key, func() (*shapecache.Entry, error) {
-		res, err := fractureDirect(target, params, m, opt)
+		res, err := fractureDirect(ctx, target, params, m, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -116,12 +117,18 @@ func FractureCached(ctx context.Context, target Polygon, params Params, m Method
 }
 
 // fractureDirect is the uncached sample-and-solve path.
-func fractureDirect(target Polygon, params Params, m Method, opt *Options) (*Result, error) {
+func fractureDirect(ctx context.Context, target Polygon, params Params, m Method, opt *Options) (*Result, error) {
+	_, span := telemetry.StartSpan(ctx, "sample")
 	prob, err := NewProblem(target, params)
 	if err != nil {
+		span.End()
 		return nil, err
 	}
-	return prob.Fracture(m, opt)
+	on, off := prob.PixelCounts()
+	span.Set("pixels_on", on)
+	span.Set("pixels_off", off)
+	span.End()
+	return prob.FractureCtx(ctx, m, opt)
 }
 
 // fractureKeyExtra serializes everything besides the shape that can

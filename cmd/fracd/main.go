@@ -8,15 +8,18 @@
 //	fracd [-addr :8337] [-workers N] [-queue 256] [-cache-entries 4096]
 //	      [-timeout 60s] [-max-timeout 10m] [-max-shapes 4096]
 //	      [-sigma 6.25] [-gamma 2] [-lmin 8]
+//	      [-log-level info] [-pprof]
 //
-// Endpoints: POST /fracture, GET /healthz, GET /stats. SIGINT/SIGTERM
-// shut the daemon down gracefully, draining in-flight requests.
+// Endpoints: POST /fracture, GET /healthz, GET /stats, GET /metrics
+// (Prometheus text format) and, with -pprof, GET /debug/pprof/.
+// Structured JSON logs go to stderr; every request is logged with its
+// X-Request-ID. SIGINT/SIGTERM shut the daemon down gracefully,
+// draining in-flight requests and logging drained/rejected counts.
 package main
 
 import (
 	"context"
 	"flag"
-	"log"
 	"net"
 	"os"
 	"os/signal"
@@ -26,23 +29,29 @@ import (
 
 	"maskfrac"
 	"maskfrac/internal/fracserve"
+	"maskfrac/internal/telemetry"
 )
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8337", "listen address")
-		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "solver worker pool size")
-		queue      = flag.Int("queue", 256, "bounded work queue depth (overflow returns 429)")
-		cacheSize  = flag.Int("cache-entries", 4096, "shape cache entry bound (negative disables the cache)")
-		timeout    = flag.Duration("timeout", 60*time.Second, "default per-request deadline")
-		maxTimeout = flag.Duration("max-timeout", 10*time.Minute, "clamp for client-supplied deadlines")
-		maxShapes  = flag.Int("max-shapes", 4096, "per-request batch size limit")
-		drain      = flag.Duration("drain", 2*time.Minute, "graceful shutdown drain budget")
-		sigma      = flag.Float64("sigma", 6.25, "default e-beam blur sigma in nm")
-		gamma      = flag.Float64("gamma", 2, "default CD tolerance in nm")
-		lmin       = flag.Float64("lmin", 8, "default minimum shot size in nm")
+		addr        = flag.String("addr", ":8337", "listen address")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "solver worker pool size")
+		queue       = flag.Int("queue", 256, "bounded work queue depth (overflow returns 429)")
+		cacheSize   = flag.Int("cache-entries", 4096, "shape cache entry bound (negative disables the cache)")
+		timeout     = flag.Duration("timeout", 60*time.Second, "default per-request deadline")
+		maxTimeout  = flag.Duration("max-timeout", 10*time.Minute, "clamp for client-supplied deadlines")
+		maxShapes   = flag.Int("max-shapes", 4096, "per-request batch size limit")
+		drain       = flag.Duration("drain", 2*time.Minute, "graceful shutdown drain budget")
+		sigma       = flag.Float64("sigma", 6.25, "default e-beam blur sigma in nm")
+		gamma       = flag.Float64("gamma", 2, "default CD tolerance in nm")
+		lmin        = flag.Float64("lmin", 8, "default minimum shot size in nm")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		enablePprof = flag.Bool("pprof", false, "serve net/http/pprof on /debug/pprof/")
 	)
 	flag.Parse()
+
+	logger := telemetry.NewLogger(os.Stderr, telemetry.ParseLevel(*logLevel)).
+		With("service", "fracd")
 
 	params := maskfrac.DefaultParams()
 	params.Sigma = *sigma
@@ -57,14 +66,18 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		MaxShapes:      *maxShapes,
+		Logger:         logger,
+		EnablePprof:    *enablePprof,
 	})
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("fracd: listen %s: %v", *addr, err)
+		logger.Error("listen failed", "addr", *addr, "err", err)
+		os.Exit(1)
 	}
-	log.Printf("fracd: serving on %s (%d workers, queue %d, cache %d entries)",
-		l.Addr(), *workers, *queue, *cacheSize)
+	logger.Info("serving", "addr", l.Addr().String(),
+		"workers", *workers, "queue", *queue, "cache_entries", *cacheSize,
+		"pprof", *enablePprof)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(l) }()
@@ -73,10 +86,11 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case s := <-sig:
-		log.Printf("fracd: %v received, draining", s)
+		logger.Info("signal received", "signal", s.String())
 	case err := <-serveErr:
 		if err != nil {
-			log.Fatalf("fracd: serve: %v", err)
+			logger.Error("serve failed", "err", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -84,8 +98,8 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("fracd: shutdown: %v", err)
+		logger.Error("shutdown failed", "err", err)
 		os.Exit(1)
 	}
-	log.Print("fracd: drained, bye")
+	logger.Info("bye")
 }

@@ -4,12 +4,17 @@
 //
 //	fracture -in shapes.msk [-shape NAME] [-method mbf|gsc|mp|proto-eda|partition]
 //	         [-out shots.txt] [-svg out.svg] [-sigma 6.25] [-gamma 2] [-lmin 8]
+//	         [-v] [-trace]
 //	fracture -batch -in shapes.msk [-workers N] [-cache 4096]
 //
 // Without -in it fractures the first built-in ILT benchmark clip (or,
 // with -batch, the whole built-in suite). Batch mode fractures every
 // shape in the file concurrently through the content-addressed shape
 // cache, so congruent repeated shapes run the solver once.
+//
+// -trace records the solver's phase spans and prints the span tree and
+// a per-phase timing table after the solve; -v adds problem detail
+// (pixel counts, shot bounds, evaluation time).
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"maskfrac/internal/geom"
 	"maskfrac/internal/maskio"
 	"maskfrac/internal/svg"
+	"maskfrac/internal/telemetry"
 )
 
 func main() {
@@ -37,6 +43,8 @@ func main() {
 		batch   = flag.Bool("batch", false, "fracture every shape in the file concurrently")
 		workers = flag.Int("workers", 0, "batch worker count (0 = GOMAXPROCS)")
 		cacheN  = flag.Int("cache", 4096, "batch shape cache entry bound (0 disables)")
+		verbose = flag.Bool("v", false, "print problem detail (pixel counts, bounds, eval time)")
+		trace   = flag.Bool("trace", false, "record solver phase spans; print the span tree and per-phase timings")
 	)
 	flag.Parse()
 
@@ -60,10 +68,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := prob.Fracture(maskfrac.Method(*method), nil)
+	ctx := context.Background()
+	var root *telemetry.Span
+	if *trace {
+		ctx, root = telemetry.WithTrace(ctx, "fracture "+name)
+	}
+	res, err := prob.FractureCtx(ctx, maskfrac.Method(*method), nil)
 	if err != nil {
 		fatal(err)
 	}
+	root.End()
 	lb, ub := prob.Bounds()
 	fmt.Printf("shape %s: %d vertices, bounds LB=%d UB=%d\n", name, len(target), lb, ub)
 	fmt.Printf("method %s: %d shots, %d failing pixels (on=%d off=%d), %.3fs\n",
@@ -72,6 +86,19 @@ func main() {
 		fmt.Printf("stage: %d->%d vertices, %d corners, %d colors, Lth=%.1fnm, %d iterations\n",
 			res.Stage.VerticesIn, res.Stage.VerticesRDP, res.Stage.Corners,
 			res.Stage.Colors, res.Stage.Lth, res.Stage.Iterations)
+	}
+	if *verbose {
+		on, off := prob.PixelCounts()
+		fmt.Printf("grid: %d interior pixels, %d exterior pixels, Lth=%.2fnm\n",
+			on, off, prob.Lth())
+		fmt.Printf("timing: solve %.3fs, evaluate %.3fs\n",
+			res.Runtime.Seconds(), res.EvalTime.Seconds())
+	}
+	if root != nil {
+		fmt.Println("\ntrace:")
+		root.WriteTree(os.Stdout)
+		fmt.Println()
+		telemetry.WritePhaseTable(os.Stdout, root)
 	}
 	if *out != "" {
 		f, err := os.Create(*out)

@@ -329,6 +329,10 @@ type Eval struct {
 	P     *Problem
 	Shots []geom.Rect
 	Dose  *raster.Field
+	// Evals counts constraint evaluations (Stats scans and DeltaCost
+	// scorings) since construction — the solver effort measure reported
+	// by refinement telemetry.
+	Evals int
 }
 
 // NewEval returns an evaluator seeded with the given shots.
@@ -363,7 +367,10 @@ func (e *Eval) SetShot(i int, s geom.Rect) {
 }
 
 // Stats scans the current dose field and returns violation statistics.
-func (e *Eval) Stats() Stats { return e.P.statsOf(e.Dose) }
+func (e *Eval) Stats() Stats {
+	e.Evals++
+	return e.P.statsOf(e.Dose)
+}
 
 // SnapshotShots returns a copy of the current shot list.
 func (e *Eval) SnapshotShots() []geom.Rect {
@@ -382,6 +389,7 @@ func (e *Eval) DeltaCost(i int, repl geom.Rect) float64 {
 	if old == repl {
 		return 0
 	}
+	e.Evals++
 	p := e.P
 	g := p.Grid
 	sup := p.Model.Support()

@@ -6,12 +6,15 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"maskfrac"
 	"maskfrac/internal/geom"
 	"maskfrac/internal/maskio"
+	"maskfrac/internal/telemetry"
 )
 
 // Config tunes a fracturing server. Zero values select the defaults
@@ -37,6 +40,16 @@ type Config struct {
 	MaxTimeout time.Duration
 	// MaxShapes bounds the batch size of one request (default 4096).
 	MaxShapes int
+	// Metrics is the registry behind /metrics and /stats; nil creates
+	// a registry owned by this server. Two servers must not share one
+	// registry (metric names would collide).
+	Metrics *telemetry.Registry
+	// Logger receives structured access and lifecycle logs (default:
+	// discard everything).
+	Logger *telemetry.Logger
+	// EnablePprof mounts the net/http/pprof profiling handlers under
+	// /debug/pprof/.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -58,38 +71,41 @@ func (c Config) withDefaults() Config {
 	if c.MaxShapes <= 0 {
 		c.MaxShapes = 4096
 	}
+	if c.Metrics == nil {
+		c.Metrics = telemetry.NewRegistry()
+	}
+	if c.Logger == nil {
+		c.Logger = telemetry.NopLogger()
+	}
 	return c
 }
 
 // job is one shape waiting for a solver worker.
 type job struct {
-	ctx     context.Context
-	target  geom.Polygon
-	params  maskfrac.Params
-	method  maskfrac.Method
-	opt     *maskfrac.Options
-	idx     int
-	results []ItemResult
-	omit    bool
-	wg      *sync.WaitGroup
-}
-
-// methodAgg accumulates per-method serving statistics.
-type methodAgg struct {
-	count     uint64
-	errors    uint64
-	cacheHits uint64
-	shots     uint64
-	solve     time.Duration
+	ctx      context.Context
+	reqID    string
+	target   geom.Polygon
+	params   maskfrac.Params
+	method   maskfrac.Method
+	opt      *maskfrac.Options
+	idx      int
+	results  []ItemResult
+	omit     bool
+	wg       *sync.WaitGroup
+	enqueued time.Time
 }
 
 // Server is the fracturing daemon: an HTTP handler backed by a bounded
-// worker pool, a request queue and a content-addressed shape cache.
+// worker pool, a request queue and a content-addressed shape cache,
+// instrumented with a telemetry registry (served on /metrics) and a
+// structured access log.
 type Server struct {
 	cfg   Config
 	cache *maskfrac.ShapeCache
 	jobs  chan *job
 	mux   *http.ServeMux
+	log   *telemetry.Logger
+	reg   *telemetry.Registry
 
 	workerWg sync.WaitGroup
 	httpSrv  *http.Server
@@ -97,36 +113,60 @@ type Server struct {
 
 	start time.Time
 
-	mu         sync.Mutex
-	requests   uint64
-	rejected   uint64
-	timeouts   uint64
-	shapesDone uint64
-	methods    map[string]*methodAgg
+	// registry instruments; /stats is derived from these
+	requests  *telemetry.Counter
+	rejected  *telemetry.Counter
+	timeouts  *telemetry.Counter
+	inflight  *telemetry.Gauge
+	reqDur    *telemetry.HistogramVec // by endpoint path
+	queueWait *telemetry.Histogram
+	shotsHist *telemetry.Histogram
+	mShapes   *telemetry.CounterVec   // shapes attempted, by method
+	mErrors   *telemetry.CounterVec   // per-item errors, by method
+	mHits     *telemetry.CounterVec   // cache hits, by method
+	mShots    *telemetry.CounterVec   // shots produced, by method
+	solveDur  *telemetry.HistogramVec // successful solve seconds, by method
+
+	// graceful-drain accounting
+	draining      atomic.Bool
+	drained       atomic.Uint64 // shapes completed while draining
+	drainRejected atomic.Uint64 // requests 429'd while draining
 
 	// workDelay stalls each job before solving; tests use it to hold
 	// the queue full or exceed request deadlines deterministically.
 	workDelay time.Duration
 }
 
-// New builds a server and starts its worker pool.
+// New builds a server, registers its metrics and starts its worker
+// pool.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		jobs:    make(chan *job, cfg.QueueDepth),
-		methods: make(map[string]*methodAgg),
-		start:   time.Now(),
+		cfg:   cfg,
+		jobs:  make(chan *job, cfg.QueueDepth),
+		log:   cfg.Logger,
+		reg:   cfg.Metrics,
+		start: time.Now(),
 	}
 	if cfg.CacheEntries >= 0 {
 		s.cache = maskfrac.NewShapeCache(cfg.CacheEntries)
 	}
+	s.registerMetrics()
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("/fracture", s.handleFracture)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.Handle("/metrics", s.reg.Handler())
+	if cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s.mux = mux
-	s.httpSrv = &http.Server{Handler: mux}
+	s.httpSrv = &http.Server{Handler: s.observe(mux)}
 	for i := 0; i < cfg.Workers; i++ {
 		s.workerWg.Add(1)
 		go s.worker()
@@ -134,8 +174,130 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the HTTP handler serving the endpoints.
-func (s *Server) Handler() http.Handler { return s.mux }
+// registerMetrics creates every instrument on the server's registry.
+func (s *Server) registerMetrics() {
+	r := s.reg
+	s.requests = r.Counter("fracd_requests_total",
+		"POST /fracture requests received")
+	s.rejected = r.Counter("fracd_requests_rejected_total",
+		"requests rejected with 429 because the work queue was full")
+	s.timeouts = r.Counter("fracd_requests_timeout_total",
+		"requests that exceeded their deadline (504)")
+	s.inflight = r.Gauge("fracd_inflight_requests",
+		"HTTP requests currently being served")
+	s.reqDur = r.HistogramVec("fracd_request_duration_seconds",
+		"HTTP request latency by endpoint", nil, "path")
+	s.queueWait = r.Histogram("fracd_queue_wait_seconds",
+		"time shapes spend queued before a worker picks them up", nil)
+	s.shotsHist = r.Histogram("fracd_shots_per_shape",
+		"shot count distribution of successful solves", telemetry.ShotCountBuckets)
+	s.mShapes = r.CounterVec("fracd_shapes_total",
+		"shapes attempted by method", "method")
+	s.mErrors = r.CounterVec("fracd_shape_errors_total",
+		"per-shape errors by method", "method")
+	s.mHits = r.CounterVec("fracd_shape_cache_hits_total",
+		"shapes served from the shape cache by method", "method")
+	s.mShots = r.CounterVec("fracd_shots_total",
+		"shots produced by method", "method")
+	s.solveDur = r.HistogramVec("fracd_solve_duration_seconds",
+		"solver wall time of successful shapes by method", nil, "method")
+	r.GaugeFunc("fracd_queue_depth", "shapes waiting for a worker",
+		func() float64 { return float64(len(s.jobs)) })
+	r.GaugeFunc("fracd_queue_capacity", "configured work queue bound",
+		func() float64 { return float64(s.cfg.QueueDepth) })
+	r.GaugeFunc("fracd_workers", "solver worker pool size",
+		func() float64 { return float64(s.cfg.Workers) })
+	r.GaugeFunc("fracd_uptime_seconds", "seconds since the server started",
+		func() float64 { return time.Since(s.start).Seconds() })
+	if s.cache != nil {
+		r.CounterFunc("fracd_shapecache_hits_total",
+			"shape cache lookups answered from a stored entry or in-flight solve",
+			func() float64 { return float64(s.cache.Stats().Hits) })
+		r.CounterFunc("fracd_shapecache_misses_total",
+			"shape cache lookups that ran the solver",
+			func() float64 { return float64(s.cache.Stats().Misses) })
+		r.CounterFunc("fracd_shapecache_evictions_total",
+			"shape cache entries dropped by the LRU bound",
+			func() float64 { return float64(s.cache.Stats().Evictions) })
+		r.CounterFunc("fracd_shapecache_coalesced_total",
+			"shape cache hits served by waiting on a concurrent in-flight solve",
+			func() float64 { return float64(s.cache.Stats().Coalesced) })
+		r.GaugeFunc("fracd_shapecache_entries", "stored shape cache entries",
+			func() float64 { return float64(s.cache.Stats().Entries) })
+		r.GaugeFunc("fracd_shapecache_bytes", "estimated shape cache footprint",
+			func() float64 { return float64(s.cache.Stats().Bytes) })
+	}
+}
+
+type reqIDKey struct{}
+
+// requestID returns the request ID the observe middleware attached.
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}
+
+// statusWriter captures the response status and size for access logs.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// observe wraps the mux with per-request observability: a request ID
+// (propagated from X-Request-ID or generated), the inflight gauge, the
+// latency histogram and one structured access log line per request.
+func (s *Server) observe(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = telemetry.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		s.inflight.Inc()
+		defer s.inflight.Dec()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), reqIDKey{}, id)))
+		dur := time.Since(start)
+		s.reqDur.With(pathLabel(r.URL.Path)).Observe(dur.Seconds())
+		s.log.Info("request",
+			"id", id, "method", r.Method, "path", r.URL.Path,
+			"status", sw.code, "bytes", sw.bytes,
+			"dur_ms", float64(dur)/float64(time.Millisecond))
+	})
+}
+
+// pathLabel maps a request path to a bounded label set so an attacker
+// cannot blow up metric cardinality with random paths.
+func pathLabel(path string) string {
+	switch path {
+	case "/fracture", "/healthz", "/stats", "/metrics":
+		return path
+	}
+	if len(path) >= len("/debug/pprof") && path[:len("/debug/pprof")] == "/debug/pprof" {
+		return "/debug/pprof"
+	}
+	return "other"
+}
+
+// Handler returns the HTTP handler serving the endpoints, wrapped with
+// the observability middleware.
+func (s *Server) Handler() http.Handler { return s.httpSrv.Handler }
+
+// Metrics returns the server's telemetry registry.
+func (s *Server) Metrics() *telemetry.Registry { return s.reg }
 
 // Serve accepts connections on l until Shutdown.
 func (s *Server) Serve(l net.Listener) error {
@@ -157,10 +319,14 @@ func (s *Server) ListenAndServe(addr string) error {
 
 // Shutdown drains the server gracefully: it stops accepting
 // connections, waits for in-flight requests (and therefore their queued
-// shapes) to finish within ctx, then stops the worker pool.
+// shapes) to finish within ctx, then stops the worker pool. It logs the
+// number of shapes drained and requests rejected during the drain.
 func (s *Server) Shutdown(ctx context.Context) error {
 	var err error
 	s.stopOnce.Do(func() {
+		s.draining.Store(true)
+		s.log.Info("draining", "queued_shapes", len(s.jobs),
+			"inflight_requests", int(s.inflight.Value()))
 		err = s.httpSrv.Shutdown(ctx)
 		close(s.jobs)
 		done := make(chan struct{})
@@ -175,8 +341,19 @@ func (s *Server) Shutdown(ctx context.Context) error {
 				err = ctx.Err()
 			}
 		}
+		s.log.Info("drained",
+			"drained_shapes", s.drained.Load(),
+			"rejected_requests", s.drainRejected.Load(),
+			"err", errString(err))
 	})
 	return err
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }
 
 // worker pulls shapes off the queue and solves them.
@@ -190,6 +367,8 @@ func (s *Server) worker() {
 // run solves one queued shape and records its result and statistics.
 func (s *Server) run(j *job) {
 	defer j.wg.Done()
+	wait := time.Since(j.enqueued)
+	s.queueWait.Observe(wait.Seconds())
 	if s.workDelay > 0 {
 		select {
 		case <-time.After(s.workDelay):
@@ -221,28 +400,32 @@ func (s *Server) run(j *job) {
 	}
 	j.results[j.idx] = item
 	s.record(j.method, &item)
+	if s.log.Enabled(telemetry.LevelDebug) {
+		s.log.Debug("shape done",
+			"id", j.reqID, "index", j.idx, "method", string(j.method),
+			"shots", item.ShotCount, "cache_hit", item.CacheHit,
+			"queue_wait_ms", float64(wait)/float64(time.Millisecond),
+			"solve_ms", item.SolveMS, "err", item.Error)
+	}
 }
 
-// record folds a finished item into the per-method aggregates.
+// record folds a finished item into the per-method metrics.
 func (s *Server) record(m maskfrac.Method, item *ItemResult) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.shapesDone++
-	agg := s.methods[string(m)]
-	if agg == nil {
-		agg = &methodAgg{}
-		s.methods[string(m)] = agg
+	name := string(m)
+	s.mShapes.With(name).Inc()
+	if s.draining.Load() {
+		s.drained.Add(1)
 	}
-	agg.count++
 	if item.Error != "" {
-		agg.errors++
+		s.mErrors.With(name).Inc()
 		return
 	}
 	if item.CacheHit {
-		agg.cacheHits++
+		s.mHits.With(name).Inc()
 	}
-	agg.shots += uint64(item.ShotCount)
-	agg.solve += time.Duration(item.SolveMS * float64(time.Millisecond))
+	s.mShots.With(name).Add(float64(item.ShotCount))
+	s.shotsHist.Observe(float64(item.ShotCount))
+	s.solveDur.With(name).Observe(item.SolveMS / 1000)
 }
 
 // handleFracture serves POST /fracture.
@@ -251,9 +434,7 @@ func (s *Server) handleFracture(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	s.mu.Lock()
-	s.requests++
-	s.mu.Unlock()
+	s.requests.Inc()
 
 	var req Request
 	r.Body = http.MaxBytesReader(w, r.Body, 256<<20)
@@ -307,6 +488,7 @@ func (s *Server) handleFracture(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
+	reqID := requestID(r.Context())
 
 	results := make([]ItemResult, len(wires))
 	var wg sync.WaitGroup
@@ -317,8 +499,9 @@ func (s *Server) handleFracture(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		j := &job{
-			ctx: ctx, target: target, params: params, method: method,
-			opt: opt, idx: i, results: results, omit: req.OmitShots, wg: &wg,
+			ctx: ctx, reqID: reqID, target: target, params: params,
+			method: method, opt: opt, idx: i, results: results,
+			omit: req.OmitShots, wg: &wg, enqueued: time.Now(),
 		}
 		wg.Add(1)
 		select {
@@ -328,9 +511,11 @@ func (s *Server) handleFracture(w http.ResponseWriter, r *http.Request) {
 			// see the cancelled context and drain as no-ops
 			wg.Done()
 			cancel()
-			s.mu.Lock()
-			s.rejected++
-			s.mu.Unlock()
+			s.rejected.Inc()
+			if s.draining.Load() {
+				s.drainRejected.Add(1)
+			}
+			s.log.Warn("queue full", "id", reqID, "shapes", len(wires), "queued_at", i)
 			writeError(w, http.StatusTooManyRequests, "queue full, retry later")
 			return
 		}
@@ -344,9 +529,9 @@ func (s *Server) handleFracture(w http.ResponseWriter, r *http.Request) {
 	select {
 	case <-done:
 	case <-ctx.Done():
-		s.mu.Lock()
-		s.timeouts++
-		s.mu.Unlock()
+		s.timeouts.Inc()
+		s.log.Warn("deadline exceeded", "id", reqID, "shapes", len(wires),
+			"timeout_ms", float64(timeout)/float64(time.Millisecond))
 		writeError(w, http.StatusGatewayTimeout, "deadline exceeded: "+ctx.Err().Error())
 		return
 	}
@@ -376,40 +561,44 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// handleStats serves GET /stats.
+// handleStats serves GET /stats. The wire format predates /metrics and
+// is kept for compatibility; every value is derived from the registry
+// instruments.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
 	reply := StatsReply{
 		UptimeSeconds: time.Since(s.start).Seconds(),
-		Requests:      s.requests,
-		Rejected:      s.rejected,
-		Timeouts:      s.timeouts,
-		ShapesDone:    s.shapesDone,
+		Requests:      uint64(s.requests.Value()),
+		Rejected:      uint64(s.rejected.Value()),
+		Timeouts:      uint64(s.timeouts.Value()),
 		QueueDepth:    len(s.jobs),
 		QueueCapacity: s.cfg.QueueDepth,
 		Workers:       s.cfg.Workers,
-		Methods:       make(map[string]MethodStats, len(s.methods)),
+		Methods:       make(map[string]MethodStats),
 	}
-	for name, agg := range s.methods {
+	s.mShapes.Each(func(values []string, c *telemetry.Counter) {
+		name := values[0]
+		count := uint64(c.Value())
+		reply.ShapesDone += count
+		solve := s.solveDur.With(name)
 		ms := MethodStats{
-			Count:        agg.count,
-			Errors:       agg.errors,
-			CacheHits:    agg.cacheHits,
-			Shots:        agg.shots,
-			TotalSolveMS: float64(agg.solve) / float64(time.Millisecond),
+			Count:        count,
+			Errors:       uint64(s.mErrors.With(name).Value()),
+			CacheHits:    uint64(s.mHits.With(name).Value()),
+			Shots:        uint64(s.mShots.With(name).Value()),
+			TotalSolveMS: solve.Sum() * 1e3,
 		}
-		if n := agg.count - agg.errors; n > 0 {
+		if n := solve.Count(); n > 0 {
 			ms.AvgSolveMS = ms.TotalSolveMS / float64(n)
 		}
 		reply.Methods[name] = ms
-	}
-	s.mu.Unlock()
+	})
 	if s.cache != nil {
 		cs := s.cache.Stats()
 		reply.Cache = CacheStatsWire{
 			Hits:       cs.Hits,
 			Misses:     cs.Misses,
 			Evictions:  cs.Evictions,
+			Coalesced:  cs.Coalesced,
 			Entries:    cs.Entries,
 			Bytes:      cs.Bytes,
 			MaxEntries: cs.MaxEntries,

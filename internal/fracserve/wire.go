@@ -89,6 +89,7 @@ type CacheStatsWire struct {
 	Hits       uint64 `json:"hits"`
 	Misses     uint64 `json:"misses"`
 	Evictions  uint64 `json:"evictions"`
+	Coalesced  uint64 `json:"coalesced"` // hits served by a concurrent in-flight solve
 	Entries    int    `json:"entries"`
 	Bytes      int64  `json:"bytes"`
 	MaxEntries int    `json:"max_entries"`

@@ -7,9 +7,12 @@
 package fixup
 
 import (
+	"context"
+
 	"maskfrac/internal/cover"
 	"maskfrac/internal/geom"
 	"maskfrac/internal/raster"
+	"maskfrac/internal/telemetry"
 )
 
 // GreedyCover repeatedly adds the candidate shot with the best net
@@ -76,6 +79,20 @@ func ScoreCandidate(p *cover.Problem, e *cover.Eval, failOn *raster.Bitmap, c ge
 	return float64(fixed) - offPenalty*float64(broken)
 }
 
+// PatchCtx is Patch with telemetry: when ctx carries a trace it
+// records a "fixup.patch" span annotated with shots added and the
+// remaining interior violations.
+func PatchCtx(ctx context.Context, p *cover.Problem, e *cover.Eval, maxShots int) {
+	span := telemetry.ActiveSpan(ctx).Child("fixup.patch")
+	before := len(e.Shots)
+	Patch(p, e, maxShots)
+	if span != nil {
+		span.Set("shots_added", len(e.Shots)-before)
+		span.Set("fail_on", e.Stats().FailOn)
+		span.End()
+	}
+}
+
 // Patch adds shots over failing interior pixel components until the
 // interior constraints hold, the shot cap is reached, or no variant
 // makes progress.
@@ -139,6 +156,19 @@ func legalize(p *cover.Problem, r geom.Rect) geom.Rect {
 		r.Y0, r.Y1 = c-lmin/2, c+lmin/2
 	}
 	return r
+}
+
+// EdgeAdjustCtx is EdgeAdjust with telemetry: when ctx carries a trace
+// it records a "fixup.edgeadjust" span annotated with the sweep budget
+// and the remaining violations.
+func EdgeAdjustCtx(ctx context.Context, p *cover.Problem, e *cover.Eval, sweeps int) {
+	span := telemetry.ActiveSpan(ctx).Child("fixup.edgeadjust")
+	EdgeAdjust(p, e, sweeps)
+	if span != nil {
+		span.Set("sweeps", sweeps)
+		span.Set("fail", e.Stats().Fail())
+		span.End()
+	}
 }
 
 // EdgeAdjust runs a bounded greedy edge-adjustment loop: each sweep

@@ -1,33 +1,57 @@
 package mbf
 
 import (
+	"context"
 	"math"
 
 	"maskfrac/internal/cover"
 	"maskfrac/internal/geom"
 	"maskfrac/internal/graphx"
+	"maskfrac/internal/telemetry"
 )
 
 // approximateFracture runs the graph-coloring-based approximate
-// fracturing stage (paper §3) and returns the initial shot set.
-func approximateFracture(p *cover.Problem, opt Options) ([]geom.Rect, StageInfo) {
+// fracturing stage (paper §3) and returns the initial shot set. Each
+// sub-stage records a telemetry span when ctx carries a trace.
+func approximateFracture(ctx context.Context, p *cover.Problem, opt Options) ([]geom.Rect, StageInfo) {
 	var info StageInfo
+	parent := telemetry.ActiveSpan(ctx)
+
+	sp := parent.Child("mbf.corners")
 	raw, simplified, lth := extractCorners(p, opt)
 	info.VerticesRDP = len(simplified)
 	info.CornersRaw = len(raw)
 	info.Lth = lth
+	sp.Set("vertices_in", len(p.Target))
+	sp.Set("vertices_rdp", len(simplified))
+	sp.Set("corners_raw", len(raw))
+	sp.End()
+
+	sp = parent.Child("mbf.cluster")
 	pts := raw
 	if !opt.DisableClustering {
 		pts = clusterCorners(raw, lth)
 	}
 	info.Corners = len(pts)
+	sp.Set("corners", len(pts))
+	sp.End()
 	if len(pts) == 0 {
 		return nil, info
 	}
+
+	sp = parent.Child("mbf.graph")
 	g := buildCompatibilityGraph(p, pts, lth, opt)
 	info.GraphEdges = g.EdgeCount()
+	sp.Set("edges", g.EdgeCount())
+	sp.End()
+
+	sp = parent.Child("mbf.color")
 	colors, n := g.Inverse().GreedyColor(opt.Order)
 	info.Colors = n
+	sp.Set("colors", n)
+	sp.End()
+
+	sp = parent.Child("mbf.reconstruct")
 	classes := graphx.ColorClasses(colors, n)
 	shots := make([]geom.Rect, 0, n)
 	for _, class := range classes {
@@ -40,6 +64,8 @@ func approximateFracture(p *cover.Problem, opt Options) ([]geom.Rect, StageInfo)
 		}
 		shots = append(shots, shotFromClass(p, cps))
 	}
+	sp.Set("shots", len(shots))
+	sp.End()
 	return shots, info
 }
 

@@ -19,9 +19,12 @@
 package mbf
 
 import (
+	"context"
+
 	"maskfrac/internal/cover"
 	"maskfrac/internal/geom"
 	"maskfrac/internal/graphx"
+	"maskfrac/internal/telemetry"
 )
 
 // Options tune the method. The zero value of each field selects the
@@ -91,11 +94,23 @@ func (r *Result) ShotCount() int { return len(r.Shots) }
 
 // Fracture runs the full method on a prepared problem.
 func Fracture(p *cover.Problem, opt Options) *Result {
+	return FractureCtx(context.Background(), p, opt)
+}
+
+// FractureCtx is Fracture with telemetry: when ctx carries a trace
+// (telemetry.WithTrace), each stage of the method — corner extraction,
+// clustering, graph construction, coloring, shot reconstruction, and
+// every refinement iteration — records a span with its duration and
+// key statistics. Without a trace the instrumentation is free.
+func FractureCtx(ctx context.Context, p *cover.Problem, opt Options) *Result {
 	opt = opt.withDefaults(p)
 	res := &Result{}
 	res.Info.VerticesIn = len(p.Target)
 
-	shots, info := approximateFracture(p, opt)
+	actx, sp := telemetry.StartSpan(ctx, "mbf.approximate")
+	shots, info := approximateFracture(actx, p, opt)
+	sp.Set("shots", len(shots))
+	sp.End()
 	res.Initial = append([]geom.Rect(nil), shots...)
 	res.Info = info
 	res.Info.VerticesIn = len(p.Target)
@@ -106,7 +121,7 @@ func Fracture(p *cover.Problem, opt Options) *Result {
 		res.Stats = p.Evaluate(shots)
 		return res
 	}
-	final, iters := refine(p, shots, opt)
+	final, iters := refine(ctx, p, shots, opt)
 	res.Shots = final
 	res.Stats = p.Evaluate(final)
 	res.Info.RefineIterations = iters

@@ -1,6 +1,7 @@
 package mbf
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -285,7 +286,7 @@ func TestShotFromClassMinSize(t *testing.T) {
 
 func TestApproximateFractureSquare(t *testing.T) {
 	p := mustProblem(t, poly(0, 0, 40, 0, 40, 40, 0, 40))
-	shots, info := approximateFracture(p, Options{}.withDefaults(p))
+	shots, info := approximateFracture(context.Background(), p, Options{}.withDefaults(p))
 	if len(shots) == 0 || len(shots) > 4 {
 		t.Errorf("initial shots = %d", len(shots))
 	}
@@ -302,7 +303,7 @@ func TestRefineFixesViolations(t *testing.T) {
 	p := mustProblem(t, poly(0, 0, 40, 0, 40, 40, 0, 40))
 	bad := []geom.Rect{{X0: 5, Y0: 5, X1: 20, Y1: 20}}
 	opt := Options{}.withDefaults(p)
-	final, iters := refine(p, bad, opt)
+	final, iters := refine(context.Background(), p, bad, opt)
 	st := p.Evaluate(final)
 	if iters == 0 {
 		t.Error("refine did nothing")
@@ -316,7 +317,7 @@ func TestRefineKeepsFeasible(t *testing.T) {
 	// already-feasible input returns immediately
 	p := mustProblem(t, poly(0, 0, 40, 0, 40, 40, 0, 40))
 	good := []geom.Rect{{X0: -0.5, Y0: -0.5, X1: 40.5, Y1: 40.5}}
-	final, iters := refine(p, good, Options{}.withDefaults(p))
+	final, iters := refine(context.Background(), p, good, Options{}.withDefaults(p))
 	if iters != 0 || len(final) != 1 {
 		t.Errorf("refine touched a feasible solution: %d iters, %d shots", iters, len(final))
 	}

@@ -1,6 +1,7 @@
 package mbf
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -8,17 +9,23 @@ import (
 	"maskfrac/internal/fracture/fixup"
 	"maskfrac/internal/geom"
 	"maskfrac/internal/raster"
+	"maskfrac/internal/telemetry"
 )
 
 // refine runs the iterative shot refinement of paper §4 (Algorithm 1) on
 // the approximate solution and returns the best configuration found
 // (fewest failing pixels, ties broken by shot count) plus the number of
-// iterations executed.
-func refine(p *cover.Problem, shots []geom.Rect, opt Options) ([]geom.Rect, int) {
+// iterations executed. When ctx carries a trace, the pass records a
+// "mbf.refine" span with one "mbf.iter" child per iteration annotated
+// with the shot count, remaining CD violations and evaluations used.
+func refine(ctx context.Context, p *cover.Problem, shots []geom.Rect, opt Options) ([]geom.Rect, int) {
+	span := telemetry.ActiveSpan(ctx).Child("mbf.refine")
 	e := cover.NewEval(p, shots)
 	best := e.SnapshotShots()
 	bestFail := e.Stats().Fail()
 	if bestFail == 0 {
+		span.Set("iterations", 0)
+		span.End()
 		return best, 0
 	}
 	var history []float64 // recent cost values for stall detection
@@ -36,6 +43,8 @@ func refine(p *cover.Problem, shots []geom.Rect, opt Options) ([]geom.Rect, int)
 		if opt.Trace && iter%25 == 0 {
 			println("iter", iter, "shots", len(e.Shots), "failOn", st.FailOn, "failOff", st.FailOff, "cost", int(st.Cost*1000))
 		}
+		iterSpan := span.Child("mbf.iter")
+		evalsBefore := e.Evals
 		if stalled(history, opt.NH) {
 			if opt.Trace {
 				println("  stall action at iter", iter, "failOn", st.FailOn, "failOff", st.FailOff)
@@ -62,9 +71,20 @@ func refine(p *cover.Problem, shots []geom.Rect, opt Options) ([]geom.Rect, int)
 		if len(history) > opt.NH+1 {
 			history = history[1:]
 		}
+		if iterSpan != nil {
+			iterSpan.Set("shots", len(e.Shots))
+			iterSpan.Set("fail_on", st.FailOn)
+			iterSpan.Set("fail_off", st.FailOff)
+			iterSpan.Set("evals", e.Evals-evalsBefore)
+			iterSpan.End()
+		}
 	}
-	best = polish(p, best)
-	best = postCleanup(p, best, opt)
+	span.Set("iterations", iters)
+	span.Set("fail", bestFail)
+	span.Set("evals", e.Evals)
+	span.End()
+	best = polish(ctx, p, best)
+	best = postCleanup(ctx, p, best, opt)
 	return best, iters
 }
 
@@ -73,7 +93,9 @@ func refine(p *cover.Problem, shots []geom.Rect, opt Options) ([]geom.Rect, int)
 // edge adjustment (which also shrinks overdosing shots), keeping the
 // best state. Uses the same operators as Algorithm 1, sequenced
 // deterministically instead of stall-triggered.
-func polish(p *cover.Problem, shots []geom.Rect) []geom.Rect {
+func polish(ctx context.Context, p *cover.Problem, shots []geom.Rect) []geom.Rect {
+	ctx, span := telemetry.StartSpan(ctx, "mbf.polish")
+	defer span.End()
 	e := cover.NewEval(p, shots)
 	best := e.SnapshotShots()
 	bestFail := e.Stats().Fail()
@@ -82,7 +104,7 @@ func polish(p *cover.Problem, shots []geom.Rect) []geom.Rect {
 		if st.FailOn > 0 {
 			addShot(e)
 		}
-		fixup.EdgeAdjust(p, e, 25)
+		fixup.EdgeAdjustCtx(ctx, p, e, 25)
 		if f := e.Stats().Fail(); f < bestFail {
 			bestFail = f
 			best = e.SnapshotShots()
@@ -100,7 +122,9 @@ func polish(p *cover.Problem, shots []geom.Rect) []geom.Rect {
 // once more and is kept only if it does not hurt. (Refinement exits as
 // soon as |Pfail| reaches zero, so the in-loop merge never sees the
 // final configuration.)
-func postCleanup(p *cover.Problem, shots []geom.Rect, opt Options) []geom.Rect {
+func postCleanup(ctx context.Context, p *cover.Problem, shots []geom.Rect, opt Options) []geom.Rect {
+	ctx, span := telemetry.StartSpan(ctx, "mbf.cleanup")
+	defer span.End()
 	e := cover.NewEval(p, shots)
 	baseStats := e.Stats()
 	baseFail := baseStats.Fail()
@@ -137,7 +161,7 @@ func postCleanup(p *cover.Problem, shots []geom.Rect, opt Options) []geom.Rect {
 			e = candidate
 		}
 	}
-	return removeAndRepair(p, e.SnapshotShots(), baseFail)
+	return removeAndRepair(ctx, p, e.SnapshotShots(), baseFail)
 }
 
 // removeAndRepair tries to delete each shot and let a bounded
@@ -147,7 +171,7 @@ func postCleanup(p *cover.Problem, shots []geom.Rect, opt Options) []geom.Rect {
 // cliques produce shots that almost shadow each other), and this pass
 // collapses them while the paper's in-loop removal cannot (refinement
 // exits the moment the solution turns feasible).
-func removeAndRepair(p *cover.Problem, shots []geom.Rect, baseFail int) []geom.Rect {
+func removeAndRepair(ctx context.Context, p *cover.Problem, shots []geom.Rect, baseFail int) []geom.Rect {
 	if len(shots) > 48 {
 		return shots // quadratic pass too costly; counts this high never win anyway
 	}
@@ -159,7 +183,7 @@ func removeAndRepair(p *cover.Problem, shots []geom.Rect, baseFail int) []geom.R
 			trial = append(trial, cur[:i]...)
 			trial = append(trial, cur[i+1:]...)
 			e := cover.NewEval(p, trial)
-			fixup.EdgeAdjust(p, e, 30)
+			fixup.EdgeAdjustCtx(ctx, p, e, 30)
 			if e.Stats().Fail() <= baseFail {
 				cur = e.SnapshotShots()
 				improved = true

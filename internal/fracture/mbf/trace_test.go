@@ -1,0 +1,93 @@
+package mbf
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"maskfrac/internal/cover"
+	"maskfrac/internal/telemetry"
+)
+
+// TestFractureCtxSpanTree runs the full method on a small L-shape with
+// tracing enabled and checks the recorded phase tree: the coloring
+// stage's sub-phases, the refinement span and its per-iteration
+// children with solver statistics.
+func TestFractureCtxSpanTree(t *testing.T) {
+	target := poly(0, 0, 90, 0, 90, 30, 30, 30, 30, 120, 0, 120)
+	p, err := cover.NewProblem(target, cover.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, root := telemetry.WithTrace(context.Background(), "mbf-test")
+	res := FractureCtx(ctx, p, Options{})
+	root.End()
+
+	if res.ShotCount() == 0 {
+		t.Fatal("no shots")
+	}
+	for _, phase := range []string{
+		"mbf.approximate", "mbf.corners", "mbf.cluster", "mbf.graph",
+		"mbf.color", "mbf.reconstruct", "mbf.refine",
+	} {
+		if root.Find(phase) == nil {
+			t.Errorf("trace has no %q span", phase)
+		}
+	}
+	refine := root.Find("mbf.refine")
+	iters := 0
+	for _, c := range refine.Children() {
+		if c.Name != "mbf.iter" {
+			continue
+		}
+		iters++
+		keys := map[string]bool{}
+		for _, a := range c.Attrs() {
+			keys[a.Key] = true
+		}
+		for _, k := range []string{"shots", "fail_on", "fail_off", "evals"} {
+			if !keys[k] {
+				t.Fatalf("mbf.iter span missing attr %q", k)
+			}
+		}
+	}
+	// the loop's final pass is the exit check (no work, no span), so a
+	// converged solve reports one more iteration than it has iter spans
+	if iters != res.Info.RefineIterations && iters != res.Info.RefineIterations-1 {
+		t.Errorf("trace has %d iter spans, result reports %d iterations",
+			iters, res.Info.RefineIterations)
+	}
+	// corners span carries the stage statistics
+	var cornersRaw any
+	for _, a := range root.Find("mbf.corners").Attrs() {
+		if a.Key == "corners_raw" {
+			cornersRaw = a.Value
+		}
+	}
+	if cornersRaw != res.Info.CornersRaw {
+		t.Errorf("corners_raw attr = %v, StageInfo says %d", cornersRaw, res.Info.CornersRaw)
+	}
+
+	var sb strings.Builder
+	root.WriteTree(&sb)
+	if !strings.Contains(sb.String(), "mbf.refine") {
+		t.Errorf("tree rendering missing refine phase:\n%s", sb.String())
+	}
+}
+
+// TestFractureWithoutTraceRecordsNothing pins the zero-cost path: no
+// trace on the context means no spans anywhere.
+func TestFractureWithoutTraceRecordsNothing(t *testing.T) {
+	target := poly(0, 0, 60, 0, 60, 60, 0, 60)
+	p, err := cover.NewProblem(target, cover.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := FractureCtx(context.Background(), p, Options{})
+	if res.ShotCount() == 0 {
+		t.Fatal("no shots")
+	}
+	if sp := telemetry.ActiveSpan(context.Background()); sp != nil {
+		t.Error("background context has an active span")
+	}
+}

@@ -23,9 +23,10 @@ type Entry struct {
 
 // Stats is a snapshot of the cache counters.
 type Stats struct {
-	Hits       uint64 // lookups answered from a stored entry
+	Hits       uint64 // lookups answered from a stored entry or an in-flight solve
 	Misses     uint64 // lookups that ran the compute function
 	Evictions  uint64 // entries dropped by the LRU bound
+	Coalesced  uint64 // hits served by waiting on a concurrent in-flight solve
 	Entries    int    // stored entries
 	Bytes      int64  // sum of stored entry Bytes estimates
 	MaxEntries int    // configured entry bound
@@ -44,6 +45,7 @@ type Cache struct {
 	hits      uint64
 	misses    uint64
 	evictions uint64
+	coalesced uint64
 	bytes     int64
 }
 
@@ -118,6 +120,7 @@ func (c *Cache) Do(ctx context.Context, k Key, compute func() (*Entry, error)) (
 		}
 		c.mu.Lock()
 		c.hits++
+		c.coalesced++
 		c.mu.Unlock()
 		return fl.entry, true, nil
 	}
@@ -146,6 +149,7 @@ func (c *Cache) Stats() Stats {
 		Hits:       c.hits,
 		Misses:     c.misses,
 		Evictions:  c.evictions,
+		Coalesced:  c.coalesced,
 		Entries:    len(c.entries),
 		Bytes:      c.bytes,
 		MaxEntries: c.maxEntry,

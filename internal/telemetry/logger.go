@@ -1,0 +1,184 @@
+package telemetry
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level is a log severity. Records below a logger's level are dropped.
+type Level int8
+
+const (
+	LevelDebug Level = iota - 1
+	LevelInfo
+	LevelWarn
+	LevelError
+	// levelOff is above every level; the Nop logger uses it.
+	levelOff
+)
+
+// String returns the lower-case level name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return "off"
+}
+
+// ParseLevel maps a level name to its Level; unknown names select Info.
+func ParseLevel(s string) Level {
+	switch s {
+	case "debug":
+		return LevelDebug
+	case "warn", "warning":
+		return LevelWarn
+	case "error":
+		return LevelError
+	}
+	return LevelInfo
+}
+
+// Logger emits one JSON object per record: {"ts":...,"level":...,
+// "msg":...,<bound fields>,<call fields>}. Loggers are safe for
+// concurrent use; With derives child loggers sharing the writer and
+// its lock.
+type Logger struct {
+	mu     *sync.Mutex
+	w      io.Writer
+	level  Level
+	bound  []byte // pre-rendered `,"k":v` pairs
+	timeFn func() time.Time
+}
+
+// NewLogger returns a logger writing JSON lines at or above level to w.
+func NewLogger(w io.Writer, level Level) *Logger {
+	return &Logger{mu: &sync.Mutex{}, w: w, level: level, timeFn: time.Now}
+}
+
+// NopLogger returns a logger that discards everything.
+func NopLogger() *Logger {
+	return &Logger{mu: &sync.Mutex{}, w: io.Discard, level: levelOff, timeFn: time.Now}
+}
+
+// Enabled reports whether records at level would be written.
+func (l *Logger) Enabled(level Level) bool { return level >= l.level }
+
+// With returns a logger with key-value pairs bound to every record.
+// kv alternates string keys and arbitrary JSON-encodable values.
+func (l *Logger) With(kv ...any) *Logger {
+	child := *l
+	child.bound = appendFields(append([]byte(nil), l.bound...), kv)
+	return &child
+}
+
+// Debug logs at debug level.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at info level.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at warn level.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at error level.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(level Level, msg string, kv []any) {
+	if level < l.level {
+		return
+	}
+	buf := make([]byte, 0, 256)
+	buf = append(buf, `{"ts":"`...)
+	buf = l.timeFn().UTC().AppendFormat(buf, time.RFC3339Nano)
+	buf = append(buf, `","level":"`...)
+	buf = append(buf, level.String()...)
+	buf = append(buf, `","msg":`...)
+	buf = appendJSON(buf, msg)
+	buf = append(buf, l.bound...)
+	buf = appendFields(buf, kv)
+	buf = append(buf, '}', '\n')
+	l.mu.Lock()
+	l.w.Write(buf)
+	l.mu.Unlock()
+}
+
+// appendFields renders alternating key-value pairs as `,"k":v`. A
+// trailing key without a value is paired with null; non-string keys are
+// stringified.
+func appendFields(buf []byte, kv []any) []byte {
+	for i := 0; i < len(kv); i += 2 {
+		key, ok := kv[i].(string)
+		if !ok {
+			key = fmt.Sprint(kv[i])
+		}
+		buf = append(buf, ',')
+		buf = appendJSON(buf, key)
+		buf = append(buf, ':')
+		if i+1 < len(kv) {
+			buf = appendJSON(buf, kv[i+1])
+		} else {
+			buf = append(buf, "null"...)
+		}
+	}
+	return buf
+}
+
+// appendJSON appends the JSON encoding of v, with fast paths for the
+// common field types.
+func appendJSON(buf []byte, v any) []byte {
+	switch x := v.(type) {
+	case string:
+		b, _ := json.Marshal(x)
+		return append(buf, b...)
+	case int:
+		return strconv.AppendInt(buf, int64(x), 10)
+	case int64:
+		return strconv.AppendInt(buf, x, 10)
+	case uint64:
+		return strconv.AppendUint(buf, x, 10)
+	case float64:
+		return strconv.AppendFloat(buf, x, 'g', -1, 64)
+	case bool:
+		return strconv.AppendBool(buf, x)
+	case time.Duration:
+		b, _ := json.Marshal(x.String())
+		return append(buf, b...)
+	case error:
+		b, _ := json.Marshal(x.Error())
+		return append(buf, b...)
+	case nil:
+		return append(buf, "null"...)
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		b, _ = json.Marshal(fmt.Sprint(v))
+	}
+	return append(buf, b...)
+}
+
+var reqCounter atomic.Uint64
+
+// NewRequestID returns a short unique request identifier: 8 random
+// bytes hex-encoded, falling back to a process-local counter if the
+// system randomness source fails.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "req-" + strconv.FormatUint(reqCounter.Add(1), 16)
+	}
+	return hex.EncodeToString(b[:])
+}

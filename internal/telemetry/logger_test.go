@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fixedTime() time.Time {
+	return time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+}
+
+func TestLoggerJSONRecords(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelDebug)
+	l.timeFn = fixedTime
+	l.Info("request done", "id", "abc123", "status", 200, "dur_ms", 1.5,
+		"ok", true, "err", errors.New("boom"), "d", 250*time.Millisecond)
+
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("record is not JSON: %v\n%s", err, buf.String())
+	}
+	for k, want := range map[string]any{
+		"ts": "2026-08-06T12:00:00Z", "level": "info", "msg": "request done",
+		"id": "abc123", "status": 200.0, "dur_ms": 1.5, "ok": true,
+		"err": "boom", "d": "250ms",
+	} {
+		if rec[k] != want {
+			t.Errorf("record[%q] = %v (%T), want %v", k, rec[k], rec[k], want)
+		}
+	}
+}
+
+func TestLoggerLevelFiltering(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelWarn)
+	l.Debug("d")
+	l.Info("i")
+	l.Warn("w")
+	l.Error("e")
+	lines := strings.Count(buf.String(), "\n")
+	if lines != 2 {
+		t.Errorf("wrote %d records at warn level, want 2:\n%s", lines, buf.String())
+	}
+	if !l.Enabled(LevelError) || l.Enabled(LevelInfo) {
+		t.Error("Enabled disagrees with the configured level")
+	}
+}
+
+func TestLoggerWithBindsFields(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo).With("req", "r1", "worker", 3)
+	l.Info("solved", "shots", 7)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["req"] != "r1" || rec["worker"] != 3.0 || rec["shots"] != 7.0 {
+		t.Errorf("bound fields missing: %v", rec)
+	}
+}
+
+func TestNopLoggerDiscards(t *testing.T) {
+	l := NopLogger()
+	l.Error("nothing happens")
+	if l.Enabled(LevelError) {
+		t.Error("nop logger claims to be enabled")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "warn": LevelWarn,
+		"warning": LevelWarn, "error": LevelError, "bogus": LevelInfo,
+	} {
+		if got := ParseLevel(s); got != want {
+			t.Errorf("ParseLevel(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestNewRequestIDUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		id := NewRequestID()
+		if len(id) == 0 {
+			t.Fatal("empty request id")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate request id %q", id)
+		}
+		seen[id] = true
+	}
+}

@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanDisabledIsFree(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := StartSpan(ctx, "phase")
+	if sp != nil {
+		t.Fatal("span created without WithTrace")
+	}
+	if ctx2 != ctx {
+		t.Error("context changed without tracing")
+	}
+	// all methods are nil-safe no-ops
+	sp.Set("k", 1)
+	sp.End()
+	sp.Child("c").End()
+	if sp.Duration() != 0 || sp.Find("x") != nil || sp.Attrs() != nil {
+		t.Error("nil span not inert")
+	}
+}
+
+func TestSpanTreeStructure(t *testing.T) {
+	ctx, root := WithTrace(context.Background(), "solve")
+	ctx1, a := StartSpan(ctx, "corners")
+	a.Set("count", 12)
+	a.End()
+	_, b := StartSpan(ctx1, "nested-under-corners")
+	b.End()
+	_, c := StartSpan(ctx, "refine")
+	for i := 0; i < 3; i++ {
+		it := c.Child("iter")
+		it.Set("i", i)
+		it.End()
+	}
+	c.End()
+	root.End()
+
+	kids := root.Children()
+	if len(kids) != 2 || kids[0].Name != "corners" || kids[1].Name != "refine" {
+		t.Fatalf("root children = %v", names(kids))
+	}
+	// b started from ctx1 (inside "corners"), so it nests under a
+	if ak := kids[0].Children(); len(ak) != 1 || ak[0].Name != "nested-under-corners" {
+		t.Errorf("corners children = %v", names(ak))
+	}
+	if rk := kids[1].Children(); len(rk) != 3 {
+		t.Errorf("refine children = %v", names(rk))
+	}
+	if root.Find("iter") == nil || root.Find("missing") != nil {
+		t.Error("Find failed")
+	}
+	if root.Duration() <= 0 {
+		t.Error("root duration not recorded")
+	}
+}
+
+func TestPhaseSummaryAggregates(t *testing.T) {
+	_, root := WithTrace(context.Background(), "solve")
+	r := root.Child("refine")
+	for i := 0; i < 5; i++ {
+		it := r.Child("iter")
+		time.Sleep(time.Millisecond)
+		it.End()
+	}
+	r.End()
+	root.End()
+	stats := root.PhaseSummary()
+	byName := map[string]PhaseStat{}
+	for _, st := range stats {
+		byName[st.Name] = st
+	}
+	it := byName["iter"]
+	if it.Count != 5 {
+		t.Fatalf("iter count = %d, want 5", it.Count)
+	}
+	if it.Total < it.Max || it.Max < it.Min || it.Min <= 0 {
+		t.Errorf("iter stats inconsistent: %+v", it)
+	}
+	if byName["solve"].Count != 1 || byName["refine"].Count != 1 {
+		t.Errorf("summary = %v", stats)
+	}
+}
+
+func TestWriteTreeElidesLongRuns(t *testing.T) {
+	_, root := WithTrace(context.Background(), "solve")
+	r := root.Child("refine")
+	for i := 0; i < maxSiblingsShown+30; i++ {
+		r.Child("iter").End()
+	}
+	r.End()
+	root.End()
+	var sb strings.Builder
+	root.WriteTree(&sb)
+	out := sb.String()
+	if got := strings.Count(out, "\n"); got > maxSiblingsShown+5 {
+		t.Errorf("tree not elided: %d lines\n%s", got, out)
+	}
+	if !strings.Contains(out, "30 more iter spans") {
+		t.Errorf("no elision summary:\n%s", out)
+	}
+}
+
+func TestWritePhaseTable(t *testing.T) {
+	_, root := WithTrace(context.Background(), "solve")
+	root.Child("corners").End()
+	root.End()
+	var sb strings.Builder
+	WritePhaseTable(&sb, root)
+	out := sb.String()
+	for _, want := range []string{"phase", "count", "solve", "corners", "share"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("phase table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func names(spans []*Span) []string {
+	out := make([]string, len(spans))
+	for i, s := range spans {
+		out[i] = s.Name
+	}
+	return out
+}

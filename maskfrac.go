@@ -19,6 +19,7 @@
 package maskfrac
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -32,6 +33,7 @@ import (
 	"maskfrac/internal/geom"
 	"maskfrac/internal/graphx"
 	"maskfrac/internal/shapegen"
+	"maskfrac/internal/telemetry"
 )
 
 // Point is a planar point in nanometers.
@@ -171,12 +173,23 @@ func (r *Result) Feasible() bool { return r.FailingPixels() == 0 }
 // Fracture runs the selected method on the problem. opt may be nil for
 // the paper's defaults.
 func (pr *Problem) Fracture(m Method, opt *Options) (*Result, error) {
+	return pr.FractureCtx(context.Background(), m, opt)
+}
+
+// FractureCtx is Fracture with telemetry plumbed through the context:
+// when ctx carries a trace (telemetry.WithTrace), the solver and
+// scoring pass record spans — MethodMBF additionally records its
+// corner-extraction, coloring and per-refinement-iteration phases.
+// Without a trace the instrumentation costs one context lookup.
+func (pr *Problem) FractureCtx(ctx context.Context, m Method, opt *Options) (*Result, error) {
 	start := time.Now()
 	res := &Result{Method: m}
 	maxIter := 0
 	if opt != nil {
 		maxIter = opt.MaxIterations
 	}
+	solveCtx, solveSpan := telemetry.StartSpan(ctx, "solve")
+	solveSpan.Set("method", string(m))
 	switch m {
 	case MethodMBF:
 		order, err := opt.coloringOrder()
@@ -187,7 +200,7 @@ func (pr *Problem) Fracture(m Method, opt *Options) (*Result, error) {
 		if opt != nil {
 			o.SkipRefinement = opt.SkipRefinement
 		}
-		r := mbf.Fracture(pr.p, o)
+		r := mbf.FractureCtx(solveCtx, pr.p, o)
 		res.Shots = r.Shots
 		res.Stage = &StageInfo{
 			VerticesIn:   r.Info.VerticesIn,
@@ -219,12 +232,18 @@ func (pr *Problem) Fracture(m Method, opt *Options) (*Result, error) {
 		return nil, fmt.Errorf("maskfrac: unknown method %q", m)
 	}
 	res.Runtime = time.Since(start)
+	solveSpan.Set("shots", res.ShotCount())
+	solveSpan.End()
 	evalStart := time.Now()
+	_, evalSpan := telemetry.StartSpan(ctx, "evaluate")
 	st := pr.p.Evaluate(res.Shots)
 	res.EvalTime = time.Since(evalStart)
 	res.FailOn = st.FailOn
 	res.FailOff = st.FailOff
 	res.Cost = st.Cost
+	evalSpan.Set("fail_on", st.FailOn)
+	evalSpan.Set("fail_off", st.FailOff)
+	evalSpan.End()
 	return res, nil
 }
 

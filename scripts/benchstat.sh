@@ -1,0 +1,58 @@
+#!/bin/sh
+# benchstat.sh — run the Go benchmarks with -benchmem and write the
+# results as JSON to BENCH_<date>.json in the repo root, so runs can be
+# diffed across commits.
+#
+# Usage:
+#	scripts/benchstat.sh [BENCH_PATTERN] [BENCHTIME]
+#
+# BENCH_PATTERN defaults to the quick cache benchmarks (the full
+# Table 2 solver benchmarks take minutes each); pass '.' to run
+# everything. BENCHTIME defaults to 1x.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+pattern="${1:-BenchmarkShapeCache|BenchmarkBatchCache}"
+benchtime="${2:-1x}"
+date="$(date -u +%Y-%m-%d)"
+out="BENCH_${date}.json"
+
+echo "running benchmarks matching '$pattern' (benchtime $benchtime)..." >&2
+if ! raw="$(go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem ./... 2>&1)"; then
+	echo "$raw" >&2
+	exit 1
+fi
+echo "$raw" >&2
+
+echo "$raw" | awk -v date="$date" -v gover="$(go version | cut -d' ' -f3)" \
+	-v pattern="$pattern" -v benchtime="$benchtime" '
+BEGIN {
+	printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n", date, gover
+	printf "  \"pattern\": \"%s\",\n  \"benchtime\": \"%s\",\n", pattern, benchtime
+	printf "  \"benchmarks\": [\n"
+	n = 0
+}
+# benchmark result lines look like:
+#   BenchmarkShapeCacheHit-8   1000  1234 ns/op  456 B/op  7 allocs/op
+/^Benchmark/ && / ns\/op/ {
+	name = $1
+	iters = $2
+	nsop = $3
+	bop = ""; allocs = ""
+	for (i = 3; i < NF; i++) {
+		if ($(i+1) == "ns/op") nsop = $i
+		if ($(i+1) == "B/op") bop = $i
+		if ($(i+1) == "allocs/op") allocs = $i
+	}
+	if (n++) printf ",\n"
+	printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, nsop
+	if (bop != "") printf ", \"bytes_per_op\": %s", bop
+	if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+	printf "}"
+}
+END {
+	printf "\n  ]\n}\n"
+}' >"$out"
+
+echo "wrote $out" >&2

@@ -20,9 +20,17 @@ go vet ./...
 echo "== go test =="
 go test ./...
 
+# the service end-to-end tests exercise the worker pool, the metrics
+# middleware and graceful drain concurrently; run them all under the
+# race detector explicitly (the -short sweep below also covers them,
+# but this line keeps the e2e surface racing even if -short semantics
+# change)
+echo "== go test -race fracserve e2e =="
+go test -race -run 'TestE2E' ./internal/fracserve
+
 # -short skips the multi-minute fracturing integration suites, which are
 # too slow under the race detector; the concurrency-heavy tests
-# (shapecache, fracserve, batch, cache) all still run.
+# (shapecache, fracserve, batch, cache, telemetry) all still run.
 echo "== go test -race -short =="
 go test -race -short ./...
 
