@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"maskfrac/internal/fracture/engine"
 )
 
 // BatchItem is the outcome of fracturing one shape in a batch.
@@ -40,9 +42,19 @@ func FractureBatchCached(ctx context.Context, targets []Polygon, params Params, 
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(targets) {
-		workers = len(targets)
+	spawn := workers
+	if spawn > len(targets) {
+		spawn = len(targets)
 	}
+	// batch-level and region-level concurrency share one bounded pool:
+	// worker slots the batch does not need (more workers than shapes)
+	// become extra tokens the engine's region solves may claim, so a
+	// batch of one huge multi-SRAF instance still parallelizes while a
+	// full batch never oversubscribes the worker budget
+	if engine.PoolFrom(ctx) == nil {
+		ctx = engine.WithPool(ctx, engine.NewPool(workers-spawn))
+	}
+	workers = spawn
 	items := make([]BatchItem, len(targets))
 	var wg sync.WaitGroup
 	work := make(chan int)

@@ -21,6 +21,8 @@ package maskfrac
 
 import (
 	"context"
+	"fmt"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -481,6 +483,60 @@ func BenchmarkBatchCache(b *testing.B) {
 					b.Fatalf("cache hits = %d, want 90", s.CacheHits)
 				}
 			}
+		})
+	}
+}
+
+// engineBenchTargets builds a four-cluster instance for the engine
+// benchmark: four SRAF clusters translated far outside each other's
+// proximity interaction range, so the planner decomposes the instance
+// into exactly four independent regions.
+func engineBenchTargets() []Polygon {
+	offsets := []geom.Point{geom.Pt(0, 0), geom.Pt(600, 0), geom.Pt(0, 600), geom.Pt(600, 600)}
+	var targets []Polygon
+	for i, off := range offsets {
+		for _, p := range SRAFCluster(int64(i+1), 2) {
+			targets = append(targets, p.Translate(off))
+		}
+	}
+	return targets
+}
+
+// BenchmarkEngineRegions measures the decompose–solve–stitch engine on
+// the four-region instance with 1 worker (sequential) and 4 workers
+// (each region on its own goroutine). The shot lists must be identical
+// regardless of worker count; the speedup tracks the number of CPUs
+// available, capped by the region count.
+func BenchmarkEngineRegions(b *testing.B) {
+	targets := engineBenchTargets()
+	prob, err := NewMultiProblem(targets, DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	var baseline *Result
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var res *Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = prob.FractureCtx(ctx, MethodMBF, &Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if res.Regions != 4 {
+				b.Fatalf("regions = %d, want 4", res.Regions)
+			}
+			if baseline == nil {
+				baseline = res
+			} else if !reflect.DeepEqual(baseline.Shots, res.Shots) {
+				b.Fatal("worker counts produced different shot lists")
+			} else if baseline.FailingPixels() != res.FailingPixels() {
+				b.Fatalf("fail counts differ: %d vs %d", baseline.FailingPixels(), res.FailingPixels())
+			}
+			b.ReportMetric(float64(res.Regions), "regions")
+			b.ReportMetric(float64(res.ShotCount()), "shots")
 		})
 	}
 }

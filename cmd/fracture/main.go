@@ -4,17 +4,24 @@
 //
 //	fracture -in shapes.msk [-shape NAME] [-method mbf|gsc|mp|proto-eda|partition]
 //	         [-out shots.txt] [-svg out.svg] [-sigma 6.25] [-gamma 2] [-lmin 8]
-//	         [-v] [-trace]
+//	         [-workers N] [-v] [-trace]
+//	fracture -multi -in shapes.msk [-workers N]
 //	fracture -batch -in shapes.msk [-workers N] [-cache 4096]
 //
 // Without -in it fractures the first built-in ILT benchmark clip (or,
-// with -batch, the whole built-in suite). Batch mode fractures every
-// shape in the file concurrently through the content-addressed shape
-// cache, so congruent repeated shapes run the solver once.
+// with -batch, the whole built-in suite; with -multi, a built-in SRAF
+// cluster). Batch mode fractures every shape in the file concurrently
+// through the content-addressed shape cache, so congruent repeated
+// shapes run the solver once. Multi mode solves all shapes of the file
+// as ONE instance sharing the dose budget: the decompose–solve–stitch
+// engine clusters them into proximity-independent regions and solves
+// up to -workers regions concurrently, with a result byte-identical to
+// the sequential run.
 //
-// -trace records the solver's phase spans and prints the span tree and
-// a per-phase timing table after the solve; -v adds problem detail
-// (pixel counts, shot bounds, evaluation time).
+// -trace records the solver's phase spans and prints the span tree —
+// including the engine's plan/region/stitch phases, one span per
+// independent region — and a per-phase timing table after the solve;
+// -v adds problem detail (pixel counts, shot bounds, evaluation time).
 package main
 
 import (
@@ -41,7 +48,8 @@ func main() {
 		gamma   = flag.Float64("gamma", 2, "CD tolerance in nm")
 		lmin    = flag.Float64("lmin", 8, "minimum shot size in nm")
 		batch   = flag.Bool("batch", false, "fracture every shape in the file concurrently")
-		workers = flag.Int("workers", 0, "batch worker count (0 = GOMAXPROCS)")
+		multi   = flag.Bool("multi", false, "solve all shapes in the file as one multi-shape instance (default: built-in SRAF cluster)")
+		workers = flag.Int("workers", 0, "concurrent batch shapes / independent regions (0 = GOMAXPROCS)")
 		cacheN  = flag.Int("cache", 4096, "batch shape cache entry bound (0 disables)")
 		verbose = flag.Bool("v", false, "print problem detail (pixel counts, bounds, eval time)")
 		trace   = flag.Bool("trace", false, "record solver phase spans; print the span tree and per-phase timings")
@@ -60,28 +68,51 @@ func main() {
 		return
 	}
 
-	target, name, err := loadTarget(*in, *shape)
-	if err != nil {
-		fatal(err)
-	}
-	prob, err := maskfrac.NewProblem(target, params)
-	if err != nil {
-		fatal(err)
+	var (
+		targets []maskfrac.Polygon
+		name    string
+		prob    *maskfrac.Problem
+	)
+	if *multi {
+		var err error
+		targets, name, err = loadMulti(*in)
+		if err != nil {
+			fatal(err)
+		}
+		prob, err = maskfrac.NewMultiProblem(targets, params)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		target, n, err := loadTarget(*in, *shape)
+		if err != nil {
+			fatal(err)
+		}
+		targets, name = []maskfrac.Polygon{target}, n
+		prob, err = maskfrac.NewProblem(target, params)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	ctx := context.Background()
 	var root *telemetry.Span
 	if *trace {
 		ctx, root = telemetry.WithTrace(ctx, "fracture "+name)
 	}
-	res, err := prob.FractureCtx(ctx, maskfrac.Method(*method), nil)
+	opt := &maskfrac.Options{Workers: *workers}
+	res, err := prob.FractureCtx(ctx, maskfrac.Method(*method), opt)
 	if err != nil {
 		fatal(err)
 	}
 	root.End()
+	vertices := 0
+	for _, t := range targets {
+		vertices += len(t)
+	}
 	lb, ub := prob.Bounds()
-	fmt.Printf("shape %s: %d vertices, bounds LB=%d UB=%d\n", name, len(target), lb, ub)
-	fmt.Printf("method %s: %d shots, %d failing pixels (on=%d off=%d), %.3fs\n",
-		res.Method, res.ShotCount(), res.FailingPixels(), res.FailOn, res.FailOff, res.Runtime.Seconds())
+	fmt.Printf("shape %s: %d shapes, %d vertices, bounds LB=%d UB=%d\n", name, len(targets), vertices, lb, ub)
+	fmt.Printf("method %s: %d shots, %d regions, %d failing pixels (on=%d off=%d), %.3fs\n",
+		res.Method, res.ShotCount(), res.Regions, res.FailingPixels(), res.FailOn, res.FailOff, res.Runtime.Seconds())
 	if res.Stage != nil {
 		fmt.Printf("stage: %d->%d vertices, %d corners, %d colors, Lth=%.1fnm, %d iterations\n",
 			res.Stage.VerticesIn, res.Stage.VerticesRDP, res.Stage.Corners,
@@ -112,7 +143,7 @@ func main() {
 		fmt.Printf("wrote %d shots to %s\n", res.ShotCount(), *out)
 	}
 	if *svgOut != "" {
-		if err := render(*svgOut, target, res.Shots); err != nil {
+		if err := render(*svgOut, targets, res.Shots); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *svgOut)
@@ -184,6 +215,22 @@ func polys(shapes []maskio.NamedShape) []maskfrac.Polygon {
 	return out
 }
 
+// loadMulti reads every shape of the file as one multi-shape instance,
+// falling back to a built-in SRAF cluster benchmark.
+func loadMulti(path string) ([]maskfrac.Polygon, string, error) {
+	if path == "" {
+		return maskfrac.SRAFCluster(7, 4), "sraf-cluster", nil
+	}
+	shapes, err := loadAll(path)
+	if err != nil {
+		return nil, "", err
+	}
+	if len(shapes) == 0 {
+		return nil, "", fmt.Errorf("no shapes in %s", path)
+	}
+	return polys(shapes), shapes[0].Name + "+", nil
+}
+
 // loadTarget reads the requested shape, falling back to the first
 // built-in benchmark clip.
 func loadTarget(path, name string) (maskfrac.Polygon, string, error) {
@@ -214,14 +261,19 @@ func loadTarget(path, name string) (maskfrac.Polygon, string, error) {
 	return nil, "", fmt.Errorf("shape %q not found in %s", name, path)
 }
 
-// render writes the target and shots to an SVG file.
-func render(path string, target maskfrac.Polygon, shots []maskfrac.Shot) error {
-	view := target.Bounds()
+// render writes the targets and shots to an SVG file.
+func render(path string, targets []maskfrac.Polygon, shots []maskfrac.Shot) error {
+	view := targets[0].Bounds()
+	for _, t := range targets[1:] {
+		view = view.Union(t.Bounds())
+	}
 	for _, s := range shots {
 		view = view.Union(geom.Rect(s))
 	}
 	c := svg.NewCanvas(view, 4)
-	c.Polygon(target, "#dddddd", "#333333", 0.4)
+	for _, t := range targets {
+		c.Polygon(t, "#dddddd", "#333333", 0.4)
+	}
 	for _, s := range shots {
 		c.Rect(s, "rgba(30,90,200,0.25)", "#1a5ac8", 0.3)
 	}

@@ -6,9 +6,6 @@ import (
 	"strings"
 	"time"
 
-	"maskfrac/internal/cover"
-	"maskfrac/internal/geom"
-	"maskfrac/internal/raster"
 	"maskfrac/internal/shapegen"
 )
 
@@ -211,14 +208,4 @@ func MethodRuntimes(rows []Row) []struct {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Runtime > out[j].Runtime })
 	return out
-}
-
-// rectilinearize converts a (possibly curvilinear) target polygon to
-// the rectilinear contour of its rasterization.
-func rectilinearize(p *cover.Problem) (geom.Polygon, error) {
-	pg := raster.LargestContour(p.Inside)
-	if pg == nil {
-		return nil, fmt.Errorf("maskfrac: target rasterizes to nothing")
-	}
-	return pg, nil
 }

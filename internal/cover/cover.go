@@ -153,6 +153,33 @@ func NewMultiProblem(targets []geom.Polygon, params Params) (*Problem, error) {
 	return p, nil
 }
 
+// InteractionRadius returns the one-sided independence margin of the
+// instance: the proximity kernel's truncation radius (3σ of the widest
+// component) plus the CD tolerance γ. Two targets whose bounding boxes,
+// each inflated by this radius, do not overlap are farther apart than
+// the interaction range 2·(3σ+γ) and cannot affect each other's
+// constrained pixels — the engine's region decomposition builds on
+// this.
+func (p *Problem) InteractionRadius() float64 {
+	return p.Model.Support() + p.Params.Gamma
+}
+
+// Subproblem builds the fracturing instance of a subset of the
+// problem's targets, exactly as NewMultiProblem would for those shapes
+// alone — same grid placement, same pixel classes. Region solves on a
+// subproblem therefore produce byte-identical shots to solving the
+// subset on its own.
+func (p *Problem) Subproblem(targets []int) (*Problem, error) {
+	subset := make([]geom.Polygon, len(targets))
+	for i, t := range targets {
+		if t < 0 || t >= len(p.Targets) {
+			return nil, fmt.Errorf("cover: subproblem target %d out of range", t)
+		}
+		subset[i] = p.Targets[t]
+	}
+	return NewMultiProblem(subset, p.Params)
+}
+
 // ContainsPoint reports whether pt lies inside any target shape.
 func (p *Problem) ContainsPoint(pt geom.Point) bool {
 	for _, t := range p.Targets {
@@ -449,13 +476,13 @@ func (e *Eval) DeltaCost(i int, repl geom.Rect) float64 {
 		// vertical strip only
 		i0, _ := g.PixelOf(geom.Pt(xLo, 0))
 		i1, _ := g.PixelOf(geom.Pt(xHi, 0))
-		scan(maxI(g.ClampX(i0), ui0), uj0, minI(g.ClampX(i1), ui1), uj1)
+		scan(max(g.ClampX(i0), ui0), uj0, min(g.ClampX(i1), ui1), uj1)
 		return delta
 	}
 	if yChanged {
 		_, j0 := g.PixelOf(geom.Pt(0, yLo))
 		_, j1 := g.PixelOf(geom.Pt(0, yHi))
-		scan(ui0, maxI(g.ClampY(j0), uj0), ui1, minI(g.ClampY(j1), uj1))
+		scan(ui0, max(g.ClampY(j0), uj0), ui1, min(g.ClampY(j1), uj1))
 		return delta
 	}
 	return 0
@@ -475,20 +502,6 @@ func changedInterval(a0, a1, b0, b1, sup float64) (lo, hi float64, changed bool)
 		hi = math.Max(hi, math.Max(a1, b1)+sup)
 	}
 	return lo, hi, hi >= lo
-}
-
-func maxI(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func minI(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // FailingBitmaps returns bitmaps of the failing Pon and Poff pixels of

@@ -101,6 +101,48 @@ func (ir *ItemResult) ShotRects() ([]geom.Rect, error) {
 	return maskio.ShotsFromWire(ir.Shots)
 }
 
+// Solve fractures one multi-shape instance through the server's
+// decompose–solve–stitch engine (POST /solve).
+func (c *Client) Solve(ctx context.Context, req *SolveRequest) (*SolveResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("fracserve: encode request: %w", err)
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/solve", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, statusError(resp)
+	}
+	var out SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("fracserve: decode response: %w", err)
+	}
+	return &out, nil
+}
+
+// SolveShapes is Solve for the common case: the given shapes as one
+// instance with the given method ("" selects the server default).
+func (c *Client) SolveShapes(ctx context.Context, shapes []geom.Polygon, method string) (*SolveResponse, error) {
+	wires := make([][][2]float64, len(shapes))
+	for i, s := range shapes {
+		wires[i] = maskio.PolygonWire(s)
+	}
+	return c.Solve(ctx, &SolveRequest{Shapes: wires, Method: method})
+}
+
+// ShotRects decodes the shot list of a solve response.
+func (sr *SolveResponse) ShotRects() ([]geom.Rect, error) {
+	return maskio.ShotsFromWire(sr.Shots)
+}
+
 // Stats fetches the server statistics.
 func (c *Client) Stats(ctx context.Context) (*StatsReply, error) {
 	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/stats", nil)

@@ -114,18 +114,20 @@ type Server struct {
 	start time.Time
 
 	// registry instruments; /stats is derived from these
-	requests  *telemetry.Counter
-	rejected  *telemetry.Counter
-	timeouts  *telemetry.Counter
-	inflight  *telemetry.Gauge
-	reqDur    *telemetry.HistogramVec // by endpoint path
-	queueWait *telemetry.Histogram
-	shotsHist *telemetry.Histogram
-	mShapes   *telemetry.CounterVec   // shapes attempted, by method
-	mErrors   *telemetry.CounterVec   // per-item errors, by method
-	mHits     *telemetry.CounterVec   // cache hits, by method
-	mShots    *telemetry.CounterVec   // shots produced, by method
-	solveDur  *telemetry.HistogramVec // successful solve seconds, by method
+	requests    *telemetry.Counter
+	solveReqs   *telemetry.Counter
+	rejected    *telemetry.Counter
+	timeouts    *telemetry.Counter
+	regionsHist *telemetry.Histogram
+	inflight    *telemetry.Gauge
+	reqDur      *telemetry.HistogramVec // by endpoint path
+	queueWait   *telemetry.Histogram
+	shotsHist   *telemetry.Histogram
+	mShapes     *telemetry.CounterVec   // shapes attempted, by method
+	mErrors     *telemetry.CounterVec   // per-item errors, by method
+	mHits       *telemetry.CounterVec   // cache hits, by method
+	mShots      *telemetry.CounterVec   // shots produced, by method
+	solveDur    *telemetry.HistogramVec // successful solve seconds, by method
 
 	// graceful-drain accounting
 	draining      atomic.Bool
@@ -155,6 +157,7 @@ func New(cfg Config) *Server {
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/fracture", s.handleFracture)
+	mux.HandleFunc("/solve", s.handleSolve)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.Handle("/metrics", s.reg.Handler())
@@ -179,6 +182,11 @@ func (s *Server) registerMetrics() {
 	r := s.reg
 	s.requests = r.Counter("fracd_requests_total",
 		"POST /fracture requests received")
+	s.solveReqs = r.Counter("fracd_solve_requests_total",
+		"POST /solve requests received")
+	s.regionsHist = r.Histogram("fracd_regions_per_request",
+		"independent regions per /solve instance",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128})
 	s.rejected = r.Counter("fracd_requests_rejected_total",
 		"requests rejected with 429 because the work queue was full")
 	s.timeouts = r.Counter("fracd_requests_timeout_total",
@@ -283,7 +291,7 @@ func (s *Server) observe(h http.Handler) http.Handler {
 // cannot blow up metric cardinality with random paths.
 func pathLabel(path string) string {
 	switch path {
-	case "/fracture", "/healthz", "/stats", "/metrics":
+	case "/fracture", "/solve", "/healthz", "/stats", "/metrics":
 		return path
 	}
 	if len(path) >= len("/debug/pprof") && path[:len("/debug/pprof")] == "/debug/pprof" {

@@ -1,0 +1,151 @@
+package fracserve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"maskfrac"
+	"maskfrac/internal/geom"
+	"maskfrac/internal/maskio"
+	"maskfrac/internal/telemetry"
+)
+
+// handleSolve serves POST /solve: one multi-shape instance through the
+// decompose–solve–stitch engine. The solve runs on the request
+// goroutine — region-level concurrency is bounded by the engine's own
+// worker pool, not the /fracture shape queue.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	s.solveReqs.Inc()
+
+	var req SolveRequest
+	r.Body = http.MaxBytesReader(w, r.Body, 256<<20)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if len(req.Shapes) == 0 {
+		writeError(w, http.StatusBadRequest, "no shapes")
+		return
+	}
+	if len(req.Shapes) > s.cfg.MaxShapes {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("%d shapes exceeds the per-request limit of %d", len(req.Shapes), s.cfg.MaxShapes))
+		return
+	}
+	method := maskfrac.MethodMBF
+	if req.Method != "" {
+		method = maskfrac.Method(req.Method)
+		if !knownMethod(method) {
+			writeError(w, http.StatusBadRequest, "unknown method "+req.Method)
+			return
+		}
+	}
+	params := s.cfg.Params
+	if req.Params != nil {
+		params = mergeParams(params, *req.Params)
+	}
+	opt := &maskfrac.Options{Workers: req.Workers}
+	if opt.Workers <= 0 {
+		opt.Workers = s.cfg.Workers
+	}
+	if req.Options != nil {
+		opt.MaxIterations = req.Options.MaxIterations
+		opt.ColoringOrder = req.Options.ColoringOrder
+		opt.SkipRefinement = req.Options.SkipRefinement
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	reqID := requestID(r.Context())
+
+	targets := make([]geom.Polygon, len(req.Shapes))
+	for i, wire := range req.Shapes {
+		target, err := maskio.PolygonFromWire(wire)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("shape %d: %s", i, err))
+			return
+		}
+		targets[i] = target
+	}
+	prob, err := maskfrac.NewMultiProblem(targets, params)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	res, err := prob.FractureCtx(ctx, method, opt)
+	item := ItemResult{}
+	if err != nil {
+		item.Error = err.Error()
+		s.record(method, &item)
+		if errors.Is(err, context.DeadlineExceeded) || ctx.Err() != nil {
+			s.timeouts.Inc()
+			s.log.Warn("solve deadline exceeded", "id", reqID,
+				"shapes", len(targets),
+				"timeout_ms", float64(timeout)/float64(time.Millisecond))
+			writeError(w, http.StatusGatewayTimeout, "deadline exceeded: "+err.Error())
+			return
+		}
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+
+	resp := SolveResponse{
+		ShotCount: res.ShotCount(),
+		Regions:   res.Regions,
+		FailOn:    res.FailOn,
+		FailOff:   res.FailOff,
+		Cost:      res.Cost,
+		Feasible:  res.Feasible(),
+		SolveMS:   float64(res.Runtime) / float64(time.Millisecond),
+		EvalMS:    float64(res.EvalTime) / float64(time.Millisecond),
+	}
+	if !req.OmitShots {
+		resp.Shots = maskio.ShotsWire(res.Shots)
+	}
+	if req.IncludeQuality {
+		epe := prob.EPE(res.Shots, 0)
+		sl := prob.Slivers(res.Shots, 0)
+		resp.Quality = &QualityWire{
+			EPESamples: epe.Samples,
+			EPEMeanNM:  epe.Mean,
+			EPERMSNM:   epe.RMS,
+			EPEMaxNM:   epe.Max,
+			EPEP95NM:   epe.P95,
+			Slivers:    sl.Slivers,
+			MinShotDim: sl.MinDim,
+			MeanAspect: sl.MeanAspect,
+		}
+	}
+
+	s.regionsHist.Observe(float64(res.Regions))
+	item.ShotCount = resp.ShotCount
+	item.FailOn = resp.FailOn
+	item.FailOff = resp.FailOff
+	item.Cost = resp.Cost
+	item.Feasible = resp.Feasible
+	item.SolveMS = resp.SolveMS
+	item.EvalMS = resp.EvalMS
+	s.record(method, &item)
+	if s.log.Enabled(telemetry.LevelDebug) {
+		s.log.Debug("solve done",
+			"id", reqID, "method", string(method), "shapes", len(targets),
+			"regions", resp.Regions, "shots", resp.ShotCount,
+			"solve_ms", resp.SolveMS)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

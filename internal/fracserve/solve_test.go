@@ -1,0 +1,172 @@
+package fracserve
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"maskfrac/internal/geom"
+	"maskfrac/internal/maskio"
+)
+
+// solveShapes builds a two-region instance: two squares far outside
+// the ~41.5 nm proximity interaction range.
+func solveShapes() []geom.Polygon {
+	return []geom.Polygon{
+		testShape(60),
+		testShape(70).Translate(geom.Pt(300, 300)),
+	}
+}
+
+func TestE2ESolveMultiRegion(t *testing.T) {
+	s, c := newTestServer(t, Config{Workers: 4, QueueDepth: 32})
+	ctx := context.Background()
+
+	resp, err := c.SolveShapes(ctx, solveShapes(), "gsc")
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if resp.Regions != 2 {
+		t.Errorf("regions = %d, want 2", resp.Regions)
+	}
+	if resp.ShotCount == 0 || len(resp.Shots) != resp.ShotCount {
+		t.Errorf("shot_count = %d with %d shots on the wire", resp.ShotCount, len(resp.Shots))
+	}
+	if resp.Quality != nil {
+		t.Error("quality present without include_quality")
+	}
+	if _, err := resp.ShotRects(); err != nil {
+		t.Errorf("shot decode: %v", err)
+	}
+
+	// the regions histogram observed the decomposition
+	text := string(s.Metrics().WritePrometheus(nil))
+	if !strings.Contains(text, "fracd_regions_per_request") {
+		t.Error("metrics missing fracd_regions_per_request")
+	}
+	if !strings.Contains(text, "fracd_solve_requests_total 1") {
+		t.Error("metrics missing fracd_solve_requests_total 1")
+	}
+}
+
+func TestE2ESolveQualityAndOmitShots(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 2, QueueDepth: 32})
+	ctx := context.Background()
+
+	wires := make([][][2]float64, 0, 2)
+	for _, p := range solveShapes() {
+		wires = append(wires, maskio.PolygonWire(p))
+	}
+	resp, err := c.Solve(ctx, &SolveRequest{
+		Shapes:         wires,
+		Method:         "gsc",
+		OmitShots:      true,
+		IncludeQuality: true,
+	})
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if resp.Shots != nil {
+		t.Error("omit_shots returned shots")
+	}
+	if resp.ShotCount == 0 {
+		t.Error("shot_count = 0")
+	}
+	q := resp.Quality
+	if q == nil {
+		t.Fatal("include_quality returned no quality block")
+	}
+	if q.EPESamples == 0 {
+		t.Error("quality has no EPE samples")
+	}
+	if q.MinShotDim <= 0 {
+		t.Errorf("min shot dim = %v", q.MinShotDim)
+	}
+	if q.MeanAspect < 1 {
+		t.Errorf("mean aspect = %v, want >= 1", q.MeanAspect)
+	}
+}
+
+// TestE2ESolveDeterministicAcrossWorkers is the service-level
+// determinism guard: the same instance solved with 1 and 4 workers
+// returns identical shot lists and evaluation results.
+func TestE2ESolveDeterministicAcrossWorkers(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 4, QueueDepth: 32})
+	ctx := context.Background()
+
+	wires := make([][][2]float64, 0, 2)
+	for _, p := range solveShapes() {
+		wires = append(wires, maskio.PolygonWire(p))
+	}
+	seq, err := c.Solve(ctx, &SolveRequest{Shapes: wires, Method: "mbf", Workers: 1})
+	if err != nil {
+		t.Fatalf("solve workers=1: %v", err)
+	}
+	par, err := c.Solve(ctx, &SolveRequest{Shapes: wires, Method: "mbf", Workers: 4})
+	if err != nil {
+		t.Fatalf("solve workers=4: %v", err)
+	}
+	if !reflect.DeepEqual(seq.Shots, par.Shots) {
+		t.Error("workers=1 and workers=4 shot lists differ")
+	}
+	if seq.FailOn != par.FailOn || seq.FailOff != par.FailOff {
+		t.Errorf("fail counts differ: %d/%d vs %d/%d",
+			seq.FailOn, seq.FailOff, par.FailOn, par.FailOff)
+	}
+}
+
+func TestE2ESolveRejections(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1, QueueDepth: 4, MaxShapes: 2})
+	ctx := context.Background()
+
+	cases := []struct {
+		name string
+		req  *SolveRequest
+		want string
+	}{
+		{"no shapes", &SolveRequest{}, "no shapes"},
+		{"unknown method", &SolveRequest{
+			Shapes: [][][2]float64{maskio.PolygonWire(testShape(60))},
+			Method: "bogus",
+		}, "unknown method"},
+		{"too many shapes", &SolveRequest{
+			Shapes: [][][2]float64{
+				maskio.PolygonWire(testShape(60)),
+				maskio.PolygonWire(testShape(60)),
+				maskio.PolygonWire(testShape(60)),
+			},
+		}, "per-request limit"},
+		{"degenerate shape", &SolveRequest{
+			Shapes: [][][2]float64{{{0, 0}, {1, 1}}},
+		}, "shape 0"},
+	}
+	for _, tc := range cases {
+		if _, err := c.Solve(ctx, tc.req); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestE2ESolveDeadline(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+	ctx := context.Background()
+
+	wires := make([][][2]float64, 0, 2)
+	for _, p := range solveShapes() {
+		wires = append(wires, maskio.PolygonWire(p))
+	}
+	// Workers: 1 makes expiry deterministic: the deadline passes while
+	// the first region solves (an MBF solve takes far more than 1 ms),
+	// so the second region's pre-solve context check always fires. With
+	// more workers both regions could be dispatched before expiry and
+	// the request would legitimately succeed.
+	_, err := c.Solve(ctx, &SolveRequest{Shapes: wires, Method: "mbf", Workers: 1, TimeoutMS: 1})
+	if err == nil {
+		t.Fatal("1 ms deadline succeeded")
+	}
+	if !errors.Is(err, ErrDeadline) {
+		t.Errorf("err = %v, want ErrDeadline", err)
+	}
+}

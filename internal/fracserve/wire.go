@@ -5,6 +5,8 @@
 // Endpoints:
 //
 //	POST /fracture — fracture one shape or a batch (Request/Response)
+//	POST /solve    — fracture one multi-shape instance through the
+//	                 decompose–solve–stitch engine (SolveRequest/SolveResponse)
 //	GET  /healthz  — liveness probe
 //	GET  /stats    — cache counters, queue depth, per-method aggregates
 package fracserve
@@ -77,6 +79,64 @@ type Summary struct {
 type Response struct {
 	Results []ItemResult `json:"results"`
 	Summary Summary      `json:"summary"`
+}
+
+// SolveRequest is the POST /solve body: one multi-shape fracturing
+// instance — typically a main feature plus its assist features — solved
+// through the decompose–solve–stitch engine. Unlike /fracture, which
+// treats each shape as an independent problem, /solve samples all
+// shapes onto one grid sharing the dose budget, clusters them into
+// proximity-independent regions and solves the regions concurrently.
+type SolveRequest struct {
+	// Shapes are the instance's polygons as [[x,y], ...] vertex lists.
+	Shapes [][][2]float64 `json:"shapes"`
+	// Method is the fracturing method (default "mbf").
+	Method string `json:"method,omitempty"`
+	// Params overrides the server's fracturing parameters.
+	Params *ParamsWire `json:"params,omitempty"`
+	// Options tunes the selected method.
+	Options *OptionsWire `json:"options,omitempty"`
+	// Workers caps the number of regions solved concurrently; 0 selects
+	// the server's worker count. Workers never changes the solution.
+	Workers int `json:"workers,omitempty"`
+	// TimeoutMS caps this request's wall time in milliseconds; 0
+	// selects the server default. The server clamps it to its maximum.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// OmitShots drops the shot list from the response.
+	OmitShots bool `json:"omit_shots,omitempty"`
+	// IncludeQuality adds edge-placement-error and sliver statistics of
+	// the merged shot list to the response.
+	IncludeQuality bool `json:"include_quality,omitempty"`
+}
+
+// QualityWire carries optional solution-quality statistics: the edge
+// placement error distribution sampled along the target boundaries and
+// the shot sliver analysis.
+type QualityWire struct {
+	EPESamples int     `json:"epe_samples"`
+	EPEMeanNM  float64 `json:"epe_mean_nm"`
+	EPERMSNM   float64 `json:"epe_rms_nm"`
+	EPEMaxNM   float64 `json:"epe_max_nm"` // worst absolute EPE
+	EPEP95NM   float64 `json:"epe_p95_nm"` // 95th percentile of |EPE|
+	Slivers    int     `json:"slivers"`    // shots thinner than Lmin
+	MinShotDim float64 `json:"min_shot_dim_nm"`
+	MeanAspect float64 `json:"mean_aspect"`
+}
+
+// SolveResponse is the POST /solve reply.
+type SolveResponse struct {
+	Shots     [][4]float64 `json:"shots,omitempty"`
+	ShotCount int          `json:"shot_count"`
+	// Regions is the number of proximity-independent regions the
+	// instance decomposed into.
+	Regions  int          `json:"regions"`
+	FailOn   int          `json:"fail_on"`
+	FailOff  int          `json:"fail_off"`
+	Cost     float64      `json:"cost"`
+	Feasible bool         `json:"feasible"`
+	SolveMS  float64      `json:"solve_ms"`
+	EvalMS   float64      `json:"eval_ms"`
+	Quality  *QualityWire `json:"quality,omitempty"`
 }
 
 // ErrorReply is the body of every non-2xx reply.

@@ -1,0 +1,234 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"maskfrac/internal/cover"
+	"maskfrac/internal/geom"
+	"maskfrac/internal/telemetry"
+)
+
+// Region is one independent cluster of an instance's targets: no shot
+// placed for its targets can change the dose at any constrained pixel
+// of another region, and vice versa.
+type Region struct {
+	Targets []int     // indices into Problem.Targets, ascending
+	Bounds  geom.Rect // union of the member targets' bounding boxes
+}
+
+// Plan clusters the problem's targets into provably independent regions
+// with a union-find over bounding boxes inflated by the interaction
+// radius 3σ+γ. The truncated Gaussian kernel delivers exactly zero dose
+// beyond 3σ of a shot edge and the solvers keep shots within the
+// γ-neighborhood of their targets, so two clusters whose inflated boxes
+// are disjoint — farther apart than 2·(3σ+γ) — cannot affect each
+// other's constrained pixels: splitting them is exact, with zero
+// quality loss. Regions are ordered by their smallest target index and
+// list their targets ascending, which fixes the stitch order.
+func Plan(p *cover.Problem) []Region {
+	n := len(p.Targets)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	find := func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	r := p.InteractionRadius()
+	boxes := make([]geom.Rect, n)
+	for i, t := range p.Targets {
+		boxes[i] = t.Bounds().Inset(-r)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if boxes[i].Overlaps(boxes[j]) {
+				ri, rj := find(i), find(j)
+				if ri != rj {
+					if rj < ri {
+						ri, rj = rj, ri
+					}
+					parent[rj] = ri
+				}
+			}
+		}
+	}
+	byRoot := make(map[int]*Region, n)
+	var regions []Region
+	for i, t := range p.Targets {
+		root := find(i)
+		reg, ok := byRoot[root]
+		if !ok {
+			regions = append(regions, Region{})
+			reg = &regions[len(regions)-1]
+			byRoot[root] = reg
+		}
+		reg.Targets = append(reg.Targets, i)
+		if len(reg.Targets) == 1 {
+			reg.Bounds = t.Bounds()
+		} else {
+			reg.Bounds = reg.Bounds.Union(t.Bounds())
+		}
+	}
+	// targets are visited in ascending order, so each region's Targets
+	// slice is ascending and regions are already ordered by their
+	// smallest member
+	return regions
+}
+
+// Config tunes one engine run.
+type Config struct {
+	// Method names the registered solver to run on every region.
+	Method string
+	// Options are the method-generic solver knobs.
+	Options Options
+	// Workers caps the number of regions solved concurrently; <= 0
+	// selects GOMAXPROCS. Ignored when the context already carries a
+	// Pool (the enclosing batch then owns the budget). Workers never
+	// changes the result — parallel and sequential runs stitch
+	// byte-identical shot lists.
+	Workers int
+}
+
+// RegionResult describes one region's solve within a Result.
+type RegionResult struct {
+	Targets []int     // indices into Problem.Targets
+	Bounds  geom.Rect // union of the region's target bounds
+	Shots   int       // shots the region contributed
+	Runtime time.Duration
+	// Stage holds the region solver's stage statistics (nil when the
+	// solver reports none).
+	Stage any
+}
+
+// Result is the stitched outcome of an engine run.
+type Result struct {
+	// Shots is the merged shot list, ordered by (region index, shot
+	// order within the region) — deterministic regardless of Workers.
+	Shots   []geom.Rect
+	Regions []RegionResult // in region order
+}
+
+// Solve runs the decompose–solve–stitch pipeline: plan the independent
+// regions, solve each as its own subproblem on the bounded worker pool,
+// and merge the shot lists in region order. A single-region instance
+// (the common case: one shape, or a main feature whose SRAFs all sit
+// within interaction range) is solved directly on the original problem
+// with no subproblem construction. When ctx carries a telemetry trace,
+// the run records "plan", per-region "region" and "stitch" spans.
+func Solve(ctx context.Context, p *cover.Problem, cfg Config) (*Result, error) {
+	fn, ok := Lookup(cfg.Method)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown method %q (registered: %s)",
+			cfg.Method, strings.Join(Names(), ", "))
+	}
+	_, planSpan := telemetry.StartSpan(ctx, "plan")
+	regions := Plan(p)
+	planSpan.Set("targets", len(p.Targets))
+	planSpan.Set("regions", len(regions))
+	planSpan.End()
+
+	if len(regions) == 1 {
+		start := time.Now()
+		sol, err := fn(ctx, p, cfg.Options)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Shots: sol.Shots,
+			Regions: []RegionResult{{
+				Targets: regions[0].Targets,
+				Bounds:  regions[0].Bounds,
+				Shots:   len(sol.Shots),
+				Runtime: time.Since(start),
+				Stage:   sol.Stage,
+			}},
+		}, nil
+	}
+
+	pool := PoolFrom(ctx)
+	if pool == nil {
+		workers := cfg.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		// the calling goroutine solves too, so it needs workers-1 extras
+		pool = NewPool(workers - 1)
+	}
+	results := make([]RegionResult, len(regions))
+	shots := make([][]geom.Rect, len(regions))
+	errs := make([]error, len(regions))
+	solveRegion := func(i int) {
+		rctx, span := telemetry.StartSpan(ctx, "region")
+		span.Set("index", i)
+		span.Set("targets", len(regions[i].Targets))
+		defer span.End()
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			return
+		}
+		start := time.Now()
+		sub, err := p.Subproblem(regions[i].Targets)
+		if err != nil {
+			errs[i] = fmt.Errorf("engine: region %d: %w", i, err)
+			return
+		}
+		sol, err := fn(rctx, sub, cfg.Options)
+		if err != nil {
+			errs[i] = fmt.Errorf("engine: region %d: %w", i, err)
+			return
+		}
+		shots[i] = sol.Shots
+		results[i] = RegionResult{
+			Targets: regions[i].Targets,
+			Bounds:  regions[i].Bounds,
+			Shots:   len(sol.Shots),
+			Runtime: time.Since(start),
+			Stage:   sol.Stage,
+		}
+		span.Set("shots", len(sol.Shots))
+	}
+	var wg sync.WaitGroup
+	for i := range regions {
+		if pool.TryAcquire() {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer pool.Release()
+				solveRegion(i)
+			}(i)
+		} else {
+			// no token free: run on the calling goroutine, which keeps
+			// the engine making progress with zero extra concurrency
+			solveRegion(i)
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	_, stitchSpan := telemetry.StartSpan(ctx, "stitch")
+	total := 0
+	for _, s := range shots {
+		total += len(s)
+	}
+	merged := make([]geom.Rect, 0, total)
+	for _, s := range shots {
+		merged = append(merged, s...)
+	}
+	stitchSpan.Set("regions", len(regions))
+	stitchSpan.Set("shots", total)
+	stitchSpan.End()
+	return &Result{Shots: merged, Regions: results}, nil
+}

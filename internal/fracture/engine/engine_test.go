@@ -1,0 +1,200 @@
+package engine_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"maskfrac/internal/cover"
+	"maskfrac/internal/fracture/engine"
+	"maskfrac/internal/geom"
+
+	// register the solvers the tests run through the engine
+	_ "maskfrac/internal/fracture/gsc"
+	_ "maskfrac/internal/fracture/mbf"
+)
+
+// square returns a side×side square with its lower-left corner at (x, y).
+func square(x, y, side float64) geom.Polygon {
+	return geom.Polygon{
+		{X: x, Y: y}, {X: x + side, Y: y},
+		{X: x + side, Y: y + side}, {X: x, Y: y + side},
+	}
+}
+
+func multiProblem(t *testing.T, targets ...geom.Polygon) *cover.Problem {
+	t.Helper()
+	p, err := cover.NewMultiProblem(targets, cover.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPlanSingleTarget(t *testing.T) {
+	p := multiProblem(t, square(0, 0, 60))
+	regions := engine.Plan(p)
+	if len(regions) != 1 {
+		t.Fatalf("regions = %d, want 1", len(regions))
+	}
+	if !reflect.DeepEqual(regions[0].Targets, []int{0}) {
+		t.Errorf("region targets = %v", regions[0].Targets)
+	}
+}
+
+// TestPlanInteractionRange checks the clustering criterion: targets
+// within the interaction range 2·(3σ+γ) share a region, targets beyond
+// it split. Default params give 3σ+γ = 3·6.25+2 = 20.75 nm.
+func TestPlanInteractionRange(t *testing.T) {
+	p := multiProblem(t, square(0, 0, 60))
+	r := p.InteractionRadius()
+	if r != 3*6.25+2 {
+		t.Fatalf("InteractionRadius = %v, want %v", r, 3*6.25+2)
+	}
+
+	// 30 nm apart: inside the 41.5 nm interaction range — one region
+	near := multiProblem(t, square(0, 0, 60), square(90, 0, 60))
+	if regions := engine.Plan(near); len(regions) != 1 {
+		t.Errorf("near targets: %d regions, want 1", len(regions))
+	}
+
+	// 200 nm apart: far outside the range — two regions
+	far := multiProblem(t, square(0, 0, 60), square(260, 0, 60))
+	regions := engine.Plan(far)
+	if len(regions) != 2 {
+		t.Fatalf("far targets: %d regions, want 2", len(regions))
+	}
+	if !reflect.DeepEqual(regions[0].Targets, []int{0}) || !reflect.DeepEqual(regions[1].Targets, []int{1}) {
+		t.Errorf("regions = %+v", regions)
+	}
+
+	// transitivity: A near B, B near C, A far from C — still one region
+	chain := multiProblem(t, square(0, 0, 60), square(90, 0, 60), square(180, 0, 60))
+	if regions := engine.Plan(chain); len(regions) != 1 {
+		t.Errorf("chained targets: %d regions, want 1", len(regions))
+	}
+}
+
+func TestSolveUnknownMethod(t *testing.T) {
+	p := multiProblem(t, square(0, 0, 60))
+	if _, err := engine.Solve(context.Background(), p, engine.Config{Method: "bogus"}); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+// TestSolveUnionOfIndependentSolves is the decomposition-correctness
+// property: two targets outside each other's interaction range solved
+// through the engine yield the exact concatenation of their
+// independently solved shot lists, in region order.
+func TestSolveUnionOfIndependentSolves(t *testing.T) {
+	a := square(0, 0, 60)
+	b := square(260, 280, 70)
+	joint := multiProblem(t, a, b)
+	run, err := engine.Solve(context.Background(), joint, engine.Config{Method: "gsc", Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Regions) != 2 {
+		t.Fatalf("regions = %d, want 2", len(run.Regions))
+	}
+
+	fn, ok := engine.Lookup("gsc")
+	if !ok {
+		t.Fatal("gsc not registered")
+	}
+	var want []geom.Rect
+	for _, target := range []geom.Polygon{a, b} {
+		solo := multiProblem(t, target)
+		sol, err := fn(context.Background(), solo, engine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, sol.Shots...)
+	}
+	if !reflect.DeepEqual(run.Shots, want) {
+		t.Errorf("engine shots differ from the union of independent solves:\n got %v\nwant %v", run.Shots, want)
+	}
+
+	// the merged solution is as clean on the joint grid as the
+	// independent solves were on theirs
+	if st := joint.Evaluate(run.Shots); st.Fail() != 0 {
+		soloFail := 0
+		for _, target := range []geom.Polygon{a, b} {
+			solo := multiProblem(t, target)
+			sol, _ := fn(context.Background(), solo, engine.Options{})
+			soloFail += solo.Evaluate(sol.Shots).Fail()
+		}
+		if st.Fail() != soloFail {
+			t.Errorf("joint failing pixels = %d, independent sum = %d", st.Fail(), soloFail)
+		}
+	}
+}
+
+// TestSolveParallelDeterminism is the determinism guard: parallel and
+// sequential runs of the same multi-region instance stitch
+// byte-identical shot lists.
+func TestSolveParallelDeterminism(t *testing.T) {
+	p := multiProblem(t,
+		square(0, 0, 50), square(300, 0, 60),
+		square(0, 300, 70), square(300, 300, 55),
+	)
+	seq, err := engine.Solve(context.Background(), p, engine.Config{Method: "mbf", Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := engine.Solve(context.Background(), p, engine.Config{Method: "mbf", Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Regions) != 4 || len(par.Regions) != 4 {
+		t.Fatalf("regions = %d/%d, want 4", len(seq.Regions), len(par.Regions))
+	}
+	if !reflect.DeepEqual(seq.Shots, par.Shots) {
+		t.Fatalf("parallel shots differ from sequential:\n seq %v\n par %v", seq.Shots, par.Shots)
+	}
+	st1, st4 := p.Evaluate(seq.Shots), p.Evaluate(par.Shots)
+	if st1 != st4 {
+		t.Errorf("stats differ: %+v vs %+v", st1, st4)
+	}
+}
+
+func TestSolveCancelled(t *testing.T) {
+	p := multiProblem(t, square(0, 0, 60), square(260, 0, 60))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := engine.Solve(ctx, p, engine.Config{Method: "gsc"}); err == nil {
+		t.Fatal("cancelled context produced no error")
+	}
+}
+
+func TestPool(t *testing.T) {
+	pool := engine.NewPool(2)
+	if !pool.TryAcquire() || !pool.TryAcquire() {
+		t.Fatal("pool refused within capacity")
+	}
+	if pool.TryAcquire() {
+		t.Fatal("pool exceeded capacity")
+	}
+	pool.Release()
+	if !pool.TryAcquire() {
+		t.Fatal("released token not reusable")
+	}
+
+	var nilPool *engine.Pool
+	if nilPool.TryAcquire() {
+		t.Error("nil pool handed out a token")
+	}
+	nilPool.Release() // must not panic
+
+	if engine.NewPool(-3).TryAcquire() {
+		t.Error("negative pool handed out a token")
+	}
+
+	ctx := engine.WithPool(context.Background(), pool)
+	if engine.PoolFrom(ctx) != pool {
+		t.Error("PoolFrom lost the pool")
+	}
+	if engine.PoolFrom(context.Background()) != nil {
+		t.Error("PoolFrom invented a pool")
+	}
+}

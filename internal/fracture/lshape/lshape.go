@@ -157,8 +157,8 @@ func UnionIsL(a, b geom.Rect) bool {
 	}
 	switch {
 	case a.X1 == b.X0 || b.X1 == a.X0: // vertically running shared edge
-		lo := maxF(a.Y0, b.Y0)
-		hi := minF(a.Y1, b.Y1)
+		lo := max(a.Y0, b.Y0)
+		hi := min(a.Y1, b.Y1)
 		if hi <= lo {
 			return false // touch at a corner or not at all
 		}
@@ -176,10 +176,10 @@ func UnionIsL(a, b geom.Rect) bool {
 		}
 		// the shorter rect's side must be fully shared (otherwise the
 		// union has 8 vertices)
-		return hi-lo == minF(a.H(), b.H())
+		return hi-lo == min(a.H(), b.H())
 	case a.Y1 == b.Y0 || b.Y1 == a.Y0: // horizontally running shared edge
-		lo := maxF(a.X0, b.X0)
-		hi := minF(a.X1, b.X1)
+		lo := max(a.X0, b.X0)
+		hi := min(a.X1, b.X1)
 		if hi <= lo {
 			return false
 		}
@@ -193,21 +193,7 @@ func UnionIsL(a, b geom.Rect) bool {
 		if aligned != 1 {
 			return false
 		}
-		return hi-lo == minF(a.W(), b.W())
+		return hi-lo == min(a.W(), b.W())
 	}
 	return false
-}
-
-func minF(a, b float64) float64 {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxF(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
 }

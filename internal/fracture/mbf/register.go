@@ -1,0 +1,22 @@
+package mbf
+
+import (
+	"context"
+
+	"maskfrac/internal/cover"
+	"maskfrac/internal/fracture/engine"
+)
+
+// init registers the paper's method with the engine's solver registry
+// under the name the public facade exposes.
+func init() {
+	engine.Register("mbf", func(ctx context.Context, p *cover.Problem, opt engine.Options) (*engine.Solution, error) {
+		r := FractureCtx(ctx, p, Options{
+			Nmax:           opt.MaxIterations,
+			Order:          opt.Order,
+			SkipRefinement: opt.SkipRefinement,
+		})
+		info := r.Info
+		return &engine.Solution{Shots: r.Shots, Stage: &info}, nil
+	})
+}

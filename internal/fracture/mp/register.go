@@ -1,0 +1,17 @@
+package mp
+
+import (
+	"context"
+
+	"maskfrac/internal/cover"
+	"maskfrac/internal/fracture/engine"
+)
+
+// init registers the matching pursuit baseline with the engine's solver
+// registry.
+func init() {
+	engine.Register("mp", func(_ context.Context, p *cover.Problem, opt engine.Options) (*engine.Solution, error) {
+		r := Fracture(p, Options{MaxShots: opt.MaxIterations})
+		return &engine.Solution{Shots: r.Shots}, nil
+	})
+}

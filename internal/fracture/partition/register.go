@@ -1,0 +1,62 @@
+package partition
+
+import (
+	"context"
+	"fmt"
+
+	"maskfrac/internal/cover"
+	"maskfrac/internal/fracture/engine"
+	"maskfrac/internal/geom"
+	"maskfrac/internal/raster"
+)
+
+// init registers conventional partition fracturing with the engine's
+// solver registry: a minimum rectangle partition of every target with
+// no overlap and no proximity compensation.
+func init() {
+	engine.Register("partition", func(_ context.Context, p *cover.Problem, _ engine.Options) (*engine.Solution, error) {
+		shots, err := solveProblem(p)
+		if err != nil {
+			return nil, err
+		}
+		return &engine.Solution{Shots: shots}, nil
+	})
+}
+
+// solveProblem partitions every target of the instance. Rectilinear
+// targets partition directly; otherwise the rasterized instance is
+// rectilinearized at the pixel pitch and its outer contours partition.
+func solveProblem(p *cover.Problem) ([]geom.Rect, error) {
+	allRectilinear := true
+	for _, t := range p.Targets {
+		if !t.IsRectilinear() {
+			allRectilinear = false
+			break
+		}
+	}
+	var shots []geom.Rect
+	if allRectilinear {
+		for _, t := range p.Targets {
+			rs, err := Minimum(t)
+			if err != nil {
+				return nil, err
+			}
+			shots = append(shots, rs...)
+		}
+		return shots, nil
+	}
+	for _, pg := range raster.Contours(p.Inside) {
+		if !pg.IsCCW() {
+			continue // holes
+		}
+		rs, err := Minimum(pg)
+		if err != nil {
+			return nil, err
+		}
+		shots = append(shots, rs...)
+	}
+	if len(shots) == 0 {
+		return nil, fmt.Errorf("partition: target rasterizes to nothing")
+	}
+	return shots, nil
+}

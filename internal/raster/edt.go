@@ -20,9 +20,9 @@ func DistanceTransform(b *Bitmap) *Field {
 		}
 	}
 	// transform along columns then rows
-	buf := make([]float64, maxInt(g.W, g.H))
-	vtx := make([]int, maxInt(g.W, g.H)+1)
-	z := make([]float64, maxInt(g.W, g.H)+1)
+	buf := make([]float64, max(g.W, g.H))
+	vtx := make([]int, max(g.W, g.H)+1)
+	z := make([]float64, max(g.W, g.H)+1)
 	for i := 0; i < g.W; i++ {
 		for j := 0; j < g.H; j++ {
 			buf[j] = f.V[g.Index(i, j)]
@@ -101,11 +101,4 @@ func dt1d(f []float64, v []int, z []float64) {
 		}
 	}
 	copy(f, out)
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -25,15 +25,21 @@ import (
 
 	"maskfrac/internal/bounds"
 	"maskfrac/internal/cover"
-	"maskfrac/internal/fracture/gsc"
+	"maskfrac/internal/fracture/engine"
 	"maskfrac/internal/fracture/mbf"
-	"maskfrac/internal/fracture/mp"
-	"maskfrac/internal/fracture/partition"
-	"maskfrac/internal/fracture/protoeda"
 	"maskfrac/internal/geom"
 	"maskfrac/internal/graphx"
 	"maskfrac/internal/shapegen"
 	"maskfrac/internal/telemetry"
+
+	// the solver packages register themselves with the engine's method
+	// registry in their package init; mbf is imported above for its
+	// stage statistics type
+	_ "maskfrac/internal/fracture/gsc"
+	_ "maskfrac/internal/fracture/lshape"
+	_ "maskfrac/internal/fracture/mp"
+	_ "maskfrac/internal/fracture/partition"
+	_ "maskfrac/internal/fracture/protoeda"
 )
 
 // Point is a planar point in nanometers.
@@ -72,11 +78,22 @@ const (
 	// minimum rectangle partition of the rasterized target with no
 	// overlap and no proximity compensation.
 	MethodPartition Method = "partition"
+	// MethodLShape is L-shape fracturing (the paper's reference [20]):
+	// a rectangle partition whose pieces pair into single-shot L's. The
+	// reported shots are the rectangle decomposition of the L-shots.
+	MethodLShape Method = "lshape"
 )
 
-// Methods lists all supported fracturing methods.
+// Methods lists all registered fracturing methods, sorted by name. New
+// heuristics appear here by registering with the engine's solver
+// registry in their package init — the facade has no method switch.
 func Methods() []Method {
-	return []Method{MethodMBF, MethodGSC, MethodMP, MethodProtoEDA, MethodPartition}
+	names := engine.Names()
+	out := make([]Method, len(names))
+	for i, n := range names {
+		out[i] = Method(n)
+	}
+	return out
 }
 
 // Options tune a fracturing run. The zero value (or a nil pointer)
@@ -90,6 +107,13 @@ type Options struct {
 	ColoringOrder string
 	// SkipRefinement stops MethodMBF after the coloring stage.
 	SkipRefinement bool
+	// Workers caps the number of independent regions of a multi-target
+	// instance solved concurrently; 0 selects GOMAXPROCS. Inside a
+	// FractureBatch run, region- and batch-level concurrency share the
+	// batch's bounded pool instead. Workers never changes the solution:
+	// parallel and sequential runs return byte-identical shot lists, so
+	// it is excluded from the shape-cache key.
+	Workers int
 }
 
 // coloringOrder maps the option string to the graph coloring order.
@@ -139,6 +163,7 @@ type Result struct {
 	FailOn   int           // failing interior pixels (dose below ρ)
 	FailOff  int           // failing exterior pixels (dose at/above ρ)
 	Cost     float64       // Σ|Itot−ρ| over failing pixels (paper Eq. 5)
+	Regions  int           // independent regions the engine solved (1 for a single shape)
 	Runtime  time.Duration // wall time of the solver, excluding scoring
 	EvalTime time.Duration // wall time of the Evaluate scoring pass
 
@@ -178,61 +203,44 @@ func (pr *Problem) Fracture(m Method, opt *Options) (*Result, error) {
 
 // FractureCtx is Fracture with telemetry plumbed through the context:
 // when ctx carries a trace (telemetry.WithTrace), the solver and
-// scoring pass record spans — MethodMBF additionally records its
+// scoring pass record spans — the engine records its plan, per-region
+// and stitch phases, and MethodMBF additionally records its
 // corner-extraction, coloring and per-refinement-iteration phases.
 // Without a trace the instrumentation costs one context lookup.
+//
+// Multi-target instances run through the decompose–solve–stitch engine:
+// targets farther apart than the proximity interaction range are solved
+// as independent regions, concurrently up to Options.Workers, and the
+// merged result is byte-identical to the sequential run.
 func (pr *Problem) FractureCtx(ctx context.Context, m Method, opt *Options) (*Result, error) {
 	start := time.Now()
 	res := &Result{Method: m}
-	maxIter := 0
+	order, err := opt.coloringOrder()
+	if err != nil {
+		return nil, err
+	}
+	cfg := engine.Config{
+		Method:  string(m),
+		Options: engine.Options{Order: order},
+	}
 	if opt != nil {
-		maxIter = opt.MaxIterations
+		cfg.Options.MaxIterations = opt.MaxIterations
+		cfg.Options.SkipRefinement = opt.SkipRefinement
+		cfg.Workers = opt.Workers
 	}
 	solveCtx, solveSpan := telemetry.StartSpan(ctx, "solve")
 	solveSpan.Set("method", string(m))
-	switch m {
-	case MethodMBF:
-		order, err := opt.coloringOrder()
-		if err != nil {
-			return nil, err
-		}
-		o := mbf.Options{Nmax: maxIter, Order: order}
-		if opt != nil {
-			o.SkipRefinement = opt.SkipRefinement
-		}
-		r := mbf.FractureCtx(solveCtx, pr.p, o)
-		res.Shots = r.Shots
-		res.Stage = &StageInfo{
-			VerticesIn:   r.Info.VerticesIn,
-			VerticesRDP:  r.Info.VerticesRDP,
-			CornersRaw:   r.Info.CornersRaw,
-			Corners:      r.Info.Corners,
-			GraphEdges:   r.Info.GraphEdges,
-			Colors:       r.Info.Colors,
-			Lth:          r.Info.Lth,
-			InitialShots: r.Info.InitialShots,
-			Iterations:   r.Info.RefineIterations,
-		}
-	case MethodGSC:
-		r := gsc.Fracture(pr.p, gsc.Options{MaxShots: maxIter})
-		res.Shots = r.Shots
-	case MethodMP:
-		r := mp.Fracture(pr.p, mp.Options{MaxShots: maxIter})
-		res.Shots = r.Shots
-	case MethodProtoEDA:
-		r := protoeda.Fracture(pr.p, protoeda.Options{CleanupIters: maxIter})
-		res.Shots = r.Shots
-	case MethodPartition:
-		shots, err := pr.partitionShots()
-		if err != nil {
-			return nil, err
-		}
-		res.Shots = shots
-	default:
-		return nil, fmt.Errorf("maskfrac: unknown method %q", m)
+	run, err := engine.Solve(solveCtx, pr.p, cfg)
+	if err != nil {
+		solveSpan.End()
+		return nil, fmt.Errorf("maskfrac: %w", err)
 	}
+	res.Shots = run.Shots
+	res.Regions = len(run.Regions)
+	res.Stage = foldStages(run)
 	res.Runtime = time.Since(start)
 	solveSpan.Set("shots", res.ShotCount())
+	solveSpan.Set("regions", res.Regions)
 	solveSpan.End()
 	evalStart := time.Now()
 	_, evalSpan := telemetry.StartSpan(ctx, "evaluate")
@@ -247,19 +255,30 @@ func (pr *Problem) FractureCtx(ctx context.Context, m Method, opt *Options) (*Re
 	return res, nil
 }
 
-// partitionShots runs conventional partition fracturing on the target
-// (rectilinearized when the target is curvilinear).
-func (pr *Problem) partitionShots() ([]Shot, error) {
-	target := pr.p.Target
-	if target.IsRectilinear() {
-		return partition.Minimum(target)
+// foldStages folds the per-region MBF stage statistics of an engine run
+// into one StageInfo; nil when no region solver reported any. Counts
+// are summed across regions, Lth is shared, and Iterations reports the
+// deepest region.
+func foldStages(run *engine.Result) *StageInfo {
+	var agg *StageInfo
+	for _, reg := range run.Regions {
+		info, ok := reg.Stage.(*mbf.StageInfo)
+		if !ok || info == nil {
+			continue
+		}
+		if agg == nil {
+			agg = &StageInfo{Lth: info.Lth}
+		}
+		agg.VerticesIn += info.VerticesIn
+		agg.VerticesRDP += info.VerticesRDP
+		agg.CornersRaw += info.CornersRaw
+		agg.Corners += info.Corners
+		agg.GraphEdges += info.GraphEdges
+		agg.Colors += info.Colors
+		agg.InitialShots += info.InitialShots
+		agg.Iterations = max(agg.Iterations, info.RefineIterations)
 	}
-	// rectilinearize at the pixel pitch
-	pg, err := rectilinearize(pr.p)
-	if err != nil {
-		return nil, err
-	}
-	return partition.Minimum(pg)
+	return agg
 }
 
 // Evaluate scores an arbitrary shot list against the problem's

@@ -1,6 +1,7 @@
 package maskfrac
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -261,5 +262,46 @@ func TestBackscatterFacade(t *testing.T) {
 	full := Shot{X0: 0, Y0: 0, X1: 80, Y1: 80}
 	if d := prob.DoseAt([]Shot{full}, Point{X: -40, Y: 40}); d <= 0 {
 		t.Errorf("backscatter tail dose = %v", d)
+	}
+}
+
+// TestFractureMultiRegionDeterminism is the facade-level determinism
+// guard: a four-cluster instance solved with 1 and 4 workers produces
+// byte-identical shot lists and identical evaluation results, because
+// the engine stitches per-region solutions in region index order
+// regardless of goroutine completion order.
+func TestFractureMultiRegionDeterminism(t *testing.T) {
+	var targets []Polygon
+	offsets := []Point{{X: 0, Y: 0}, {X: 600, Y: 0}, {X: 0, Y: 600}, {X: 600, Y: 600}}
+	for i, off := range offsets {
+		for _, p := range SRAFCluster(int64(i+1), 1) {
+			targets = append(targets, p.Translate(off))
+		}
+	}
+	prob, err := NewMultiProblem(targets, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := prob.Fracture(MethodMBF, &Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := prob.Fracture(MethodMBF, &Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Regions != 4 || par.Regions != 4 {
+		t.Fatalf("regions = %d/%d, want 4", seq.Regions, par.Regions)
+	}
+	if !reflect.DeepEqual(seq.Shots, par.Shots) {
+		t.Fatal("workers=1 and workers=4 shot lists differ")
+	}
+	if seq.FailOn != par.FailOn || seq.FailOff != par.FailOff || seq.Cost != par.Cost {
+		t.Errorf("evaluation differs: on=%d/%d off=%d/%d cost=%v/%v",
+			seq.FailOn, par.FailOn, seq.FailOff, par.FailOff, seq.Cost, par.Cost)
+	}
+	// the aggregated MBF stage info still reports the whole instance
+	if seq.Stage == nil || seq.Stage.InitialShots == 0 {
+		t.Errorf("stage info lost across regions: %+v", seq.Stage)
 	}
 }

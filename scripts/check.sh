@@ -17,8 +17,10 @@ fi
 echo "== go vet =="
 go vet ./...
 
+# -shuffle=on randomizes test execution order so hidden inter-test
+# dependencies surface in CI rather than in a refactor
 echo "== go test =="
-go test ./...
+go test -shuffle=on ./...
 
 # the service end-to-end tests exercise the worker pool, the metrics
 # middleware and graceful drain concurrently; run them all under the
