@@ -31,7 +31,7 @@ race:
 
 # bench runs the quick benchmarks with -benchmem and records the
 # results to BENCH_<date>.json; pass BENCH='.' BENCHTIME=3x to widen it
-BENCH ?= BenchmarkShapeCache|BenchmarkBatchCache
+BENCH ?= BenchmarkShapeCache|BenchmarkBatchCache|BenchmarkEngineRegions|BenchmarkRefine
 BENCHTIME ?= 1x
 bench:
 	sh scripts/benchstat.sh '$(BENCH)' '$(BENCHTIME)'

@@ -28,6 +28,7 @@ import (
 
 	"maskfrac/internal/cover"
 	"maskfrac/internal/ebeam"
+	"maskfrac/internal/fracture/fixup"
 	"maskfrac/internal/fracture/lshape"
 	"maskfrac/internal/fracture/mbf"
 	"maskfrac/internal/fracture/partition"
@@ -484,6 +485,125 @@ func BenchmarkBatchCache(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// refineBenchSetup builds the SRAF-cluster refinement instance: the
+// fracturing problem plus the unrefined (coloring-stage) shot list the
+// refinement benchmarks start from.
+func refineBenchSetup(tb testing.TB) (*cover.Problem, []geom.Rect) {
+	tb.Helper()
+	p, err := cover.NewMultiProblem(SRAFCluster(3, 2), cover.DefaultParams())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	seed := mbf.Fracture(p, mbf.Options{SkipRefinement: true}).Shots
+	if len(seed) == 0 {
+		tb.Fatal("no seed shots")
+	}
+	return p, seed
+}
+
+// edgeAdjustRescan mirrors fixup.EdgeAdjust but forces a full-grid
+// violation rescan (RecomputeStats) wherever the incremental evaluator
+// answers from maintained state — the pre-incremental cost model of
+// Eval.Stats. It is the baseline the "incremental" sub-benchmark is
+// compared against; the comparison is conservative because the old
+// SetShot's double support-box accumulation is not emulated.
+func edgeAdjustRescan(p *cover.Problem, e *cover.Eval, sweeps int) {
+	best := e.SnapshotShots()
+	bestFail := e.RecomputeStats().Fail()
+	pitch := p.Params.Pitch
+	for iter := 0; iter < sweeps && bestFail > 0; iter++ {
+		improved := false
+		for i := range e.Shots {
+			r := e.Shots[i]
+			bestDelta, bestRect := -1e-12, geom.Rect{}
+			for s := 0; s < 4; s++ {
+				for _, d := range []float64{pitch, -pitch} {
+					nr := r
+					switch s {
+					case 0:
+						nr.X0 += d
+					case 1:
+						nr.X1 += d
+					case 2:
+						nr.Y0 += d
+					case 3:
+						nr.Y1 += d
+					}
+					if !p.MinSizeOK(nr) {
+						continue
+					}
+					if delta := e.DeltaCost(i, nr); delta < bestDelta {
+						bestDelta, bestRect = delta, nr
+					}
+				}
+			}
+			if bestDelta < -1e-12 {
+				e.SetShot(i, bestRect)
+				e.RecomputeStats()
+				improved = true
+			}
+		}
+		if f := e.RecomputeStats().Fail(); f < bestFail {
+			best = e.SnapshotShots()
+			bestFail = f
+		}
+		if !improved {
+			break
+		}
+	}
+	e.Reset(best)
+}
+
+// BenchmarkRefine measures the edge-adjustment refinement loop on the
+// SRAF cluster instance with the incremental evaluator ("incremental")
+// against the same loop paying a full-grid violation rescan per
+// accepted move ("full-rescan", the pre-incremental cost model). The
+// px/mutation metric is the counter-verified pixel cost of committing
+// one move; px/rescan is what a full-grid scan pays.
+func BenchmarkRefine(b *testing.B) {
+	p, seed := refineBenchSetup(b)
+	const sweeps = 40
+	b.Run("incremental", func(b *testing.B) {
+		var e *cover.Eval
+		for i := 0; i < b.N; i++ {
+			e = cover.NewEval(p, seed)
+			fixup.EdgeAdjust(p, e, sweeps)
+		}
+		b.ReportMetric(float64(e.PixelsMutated)/float64(max(int64(e.Mutations), 1)), "px/mutation")
+		b.ReportMetric(float64(p.Grid.Len()), "px/rescan")
+		b.ReportMetric(float64(e.Stats().Fail()), "failing-px")
+	})
+	b.Run("full-rescan", func(b *testing.B) {
+		var e *cover.Eval
+		for i := 0; i < b.N; i++ {
+			e = cover.NewEval(p, seed)
+			edgeAdjustRescan(p, e, sweeps)
+		}
+		b.ReportMetric(float64(e.Stats().Fail()), "failing-px")
+	})
+}
+
+// TestRefineIncrementalEffort is the counter-verified acceptance check
+// of the incremental evaluator: committing a refinement move must visit
+// at least 2x fewer pixels than the full-grid rescan Stats used to pay
+// per move (in practice the gap is orders of magnitude).
+func TestRefineIncrementalEffort(t *testing.T) {
+	p, seed := refineBenchSetup(t)
+	e := cover.NewEval(p, seed)
+	fixup.EdgeAdjust(p, e, 40)
+	if e.Mutations == 0 {
+		t.Fatal("refinement committed no mutations")
+	}
+	perMove := float64(e.PixelsMutated) / float64(e.Mutations)
+	rescan := float64(p.Grid.Len())
+	t.Logf("pixels per committed move: %.0f incremental vs %.0f full rescan (%.1fx)",
+		perMove, rescan, rescan/perMove)
+	if rescan < 2*perMove {
+		t.Errorf("incremental commit scans %.0f px/move; want at least 2x below the %0.f px full rescan",
+			perMove, rescan)
 	}
 }
 

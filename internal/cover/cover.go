@@ -8,6 +8,8 @@ package cover
 import (
 	"fmt"
 	"math"
+	"os"
+	"sync/atomic"
 
 	"maskfrac/internal/ebeam"
 	"maskfrac/internal/geom"
@@ -350,53 +352,357 @@ func (p *Problem) pixelCost(k int, v float64) float64 {
 	return 0
 }
 
-// Eval tracks a shot configuration and its dose field incrementally, so
-// heuristics can score local modifications without full re-simulation.
+// Process-wide evaluator effort counters, aggregated across every Eval
+// in the process; exported to /metrics by the fracturing service.
+var (
+	evalMutationsTotal     atomic.Int64
+	evalPixelsMutatedTotal atomic.Int64
+	evalPixelsScoredTotal  atomic.Int64
+	mutationObserver       atomic.Value // holds a mutObs
+)
+
+// mutObs wraps the observer callback so atomic.Value can store a nil fn.
+type mutObs struct{ fn func(pixels int) }
+
+// EvalEffort is a snapshot of the process-wide evaluator effort
+// counters: how many mutations all evaluators have committed and how
+// many pixels their incremental scans visited while committing
+// (PixelsMutated) or scoring candidates via DeltaCost (PixelsScored).
+type EvalEffort struct {
+	Mutations     int64
+	PixelsMutated int64
+	PixelsScored  int64
+}
+
+// EvalCounters returns the current process-wide evaluator effort totals.
+func EvalCounters() EvalEffort {
+	return EvalEffort{
+		Mutations:     evalMutationsTotal.Load(),
+		PixelsMutated: evalPixelsMutatedTotal.Load(),
+		PixelsScored:  evalPixelsScoredTotal.Load(),
+	}
+}
+
+// SetMutationObserver installs fn to be called after every committed
+// evaluator mutation, process-wide, with the number of pixels the
+// commit scanned. The service layer uses it to feed a pixels-per-
+// mutation histogram; fn must be safe for concurrent use (region
+// solvers mutate evaluators from many goroutines) and cheap — it runs
+// on the mutation hot path. A nil fn removes the observer.
+func SetMutationObserver(fn func(pixels int)) {
+	mutationObserver.Store(mutObs{fn})
+}
+
+// evalCheckEnv is the process default for the evaluator's cross-check
+// mode: setting MASKFRAC_EVAL_CHECK to a non-empty value makes every
+// new evaluator assert, after each mutation, that its maintained state
+// matches both a scan of its own dose field and Problem.Evaluate from
+// scratch. Meant for debugging — it turns every O(support) mutation
+// back into O(grid + shots).
+var evalCheckEnv = os.Getenv("MASKFRAC_EVAL_CHECK") != ""
+
+// Eval tracks a shot configuration, its dose field and its violation
+// state incrementally, so heuristics can score and commit local
+// modifications without full re-simulation. The maintained invariant
+// after every mutation is
+//
+//	stats, failOn, failOff  ==  statsOf(Dose) and its failing-pixel sets
+//
+// with Cost equal up to float rounding (the running sum accumulates
+// retire/restore pairs in mutation order; it is re-anchored to exactly
+// zero whenever no pixel fails, and RecomputeStats re-anchors it on
+// demand). FailOn/FailOff counts and the bitmaps are exact.
+//
+// An Eval is not safe for concurrent use.
 type Eval struct {
 	P     *Problem
 	Shots []geom.Rect
 	Dose  *raster.Field
-	// Evals counts constraint evaluations (Stats scans and DeltaCost
+
+	stats   Stats
+	failOn  *raster.Bitmap
+	failOff *raster.Bitmap
+
+	// Evals counts constraint evaluations (Stats queries and DeltaCost
 	// scorings) since construction — the solver effort measure reported
-	// by refinement telemetry.
+	// by refinement telemetry. Since Stats became O(1), the pixel
+	// counters below are the truthful cost measure.
 	Evals int
+	// Mutations counts committed configuration changes (Add, Remove,
+	// SetShot, ApplyDelta) since construction.
+	Mutations int
+	// PixelsMutated counts pixels visited committing mutations;
+	// PixelsScored counts pixels visited scoring DeltaCost candidates.
+	PixelsMutated int64
+	PixelsScored  int64
+
+	check bool      // cross-check mode, see SetCrossCheck
+	tab   edgeTabs  // moveScan scratch: per-component 1D edge tables
+	buf   []float64 // backing storage for tab
 }
 
-// NewEval returns an evaluator seeded with the given shots.
+// edgeTabs holds the per-component 1D edge-profile tables of one
+// moveScan, sampled over the union support box. The model has at most
+// two Gaussian components.
+type edgeTabs struct {
+	exOld, exNew [2][]float64
+	eyOld, eyNew [2][]float64
+}
+
+// NewEval returns an evaluator seeded with the given shots. The shot
+// list is copied; building the initial dose field and violation state
+// costs O(grid + Σ shot support boxes).
 func NewEval(p *Problem, shots []geom.Rect) *Eval {
-	e := &Eval{P: p, Dose: raster.NewField(p.Grid)}
-	for _, s := range shots {
-		e.Add(s)
+	e := &Eval{
+		P:       p,
+		Dose:    raster.NewField(p.Grid),
+		failOn:  raster.NewBitmap(p.Grid),
+		failOff: raster.NewBitmap(p.Grid),
+		check:   evalCheckEnv,
 	}
+	e.Reset(shots)
 	return e
 }
 
-// Add appends shot s and accumulates its dose.
-func (e *Eval) Add(s geom.Rect) {
-	e.Shots = append(e.Shots, s)
-	e.P.Model.AccumulateShot(e.Dose, s, 1)
+// SetCrossCheck toggles the debug cross-check mode for this evaluator:
+// when on, every mutation re-derives the violation state from the dose
+// field and from Problem.Evaluate from scratch and panics on any
+// mismatch with the maintained state. The MASKFRAC_EVAL_CHECK
+// environment variable sets the process-wide default.
+func (e *Eval) SetCrossCheck(on bool) { e.check = on }
+
+// Reset replaces the entire configuration with the given shots and
+// rebuilds dose and violation state from scratch: O(grid + Σ support
+// boxes). Use it to restore a snapshot; single-shot changes should go
+// through the incremental mutators instead.
+func (e *Eval) Reset(shots []geom.Rect) {
+	for k := range e.Dose.V {
+		e.Dose.V[k] = 0
+	}
+	e.Shots = append(e.Shots[:0], shots...)
+	for _, s := range e.Shots {
+		e.P.Model.AccumulateShot(e.Dose, s, 1)
+	}
+	e.rebuildState()
+	if e.check {
+		e.crossCheck("Reset")
+	}
 }
 
-// Remove deletes shot i (order not preserved) and subtracts its dose.
+// rebuildState derives stats and the failing bitmaps from the current
+// dose field with one full-grid scan, re-anchoring the running cost.
+func (e *Eval) rebuildState() {
+	p := e.P
+	rho := p.Params.Rho
+	var st Stats
+	for k, c := range p.Class {
+		v := e.Dose.V[k]
+		fOn, fOff := false, false
+		switch c {
+		case On:
+			if v < rho {
+				fOn = true
+				st.FailOn++
+				st.Cost += rho - v
+			}
+		case Off:
+			if v >= rho {
+				fOff = true
+				st.FailOff++
+				st.Cost += v - rho
+			}
+		}
+		e.failOn.Bits[k] = fOn
+		e.failOff.Bits[k] = fOff
+	}
+	e.stats = st
+}
+
+// RecomputeStats rebuilds the maintained violation state with a full
+// O(grid) scan of the current dose field and returns it — the fallback
+// the incremental bookkeeping replaces. It re-anchors the running cost
+// (clearing accumulated float rounding); it exists for debugging,
+// cross-checks and benchmark baselines. Solvers should call Stats.
+func (e *Eval) RecomputeStats() Stats {
+	e.rebuildState()
+	return e.stats
+}
+
+// Add appends shot s, accumulates its dose and folds the pixels of its
+// support box into the maintained violation state: O(support box).
+func (e *Eval) Add(s geom.Rect) {
+	e.Shots = append(e.Shots, s)
+	e.applyShot(s, 1)
+	if e.check {
+		e.crossCheck("Add")
+	}
+}
+
+// Remove deletes shot i and subtracts its dose: O(support box).
+//
+// Index-stability contract: Remove swap-deletes. The last shot moves
+// into slot i (shot order is NOT preserved), every other index is
+// unchanged, and the list shrinks by one. Callers that hold shot
+// indices across a removal must account for the swap: indices other
+// than i and len-1 remain valid, the index len-1 becomes invalid, and
+// the shot previously at len-1 is now at i. Removing in descending
+// index order, or re-deriving indices after each removal, sidesteps the
+// issue. UndoRemove is the exact inverse, restoring the original order.
 func (e *Eval) Remove(i int) {
 	s := e.Shots[i]
-	e.P.Model.AccumulateShot(e.Dose, s, -1)
 	last := len(e.Shots) - 1
 	e.Shots[i] = e.Shots[last]
 	e.Shots = e.Shots[:last]
+	e.applyShot(s, -1)
+	if e.check {
+		e.crossCheck("Remove")
+	}
 }
 
-// SetShot replaces shot i with s, updating the dose field.
+// UndoRemove reverts an immediately preceding Remove(i) that removed
+// shot s, restoring the exact shot order the swap-delete disturbed:
+// the displaced last shot returns to the tail and s returns to slot i.
+// Cleanup loops use it to speculatively remove a shot, inspect the
+// damage, and back out.
+func (e *Eval) UndoRemove(i int, s geom.Rect) {
+	if i < len(e.Shots) {
+		displaced := e.Shots[i]
+		e.SetShot(i, s)
+		e.Add(displaced)
+	} else {
+		// the removed shot was the last one; no swap happened
+		e.Add(s)
+	}
+}
+
+// applyShot commits adding (sign=+1) or removing (sign=−1) shot s:
+// the constrained pixels of the shot's support box are retired from
+// the maintained stats, the dose update runs through the model's
+// separable accumulation, and the pixels are restored against the new
+// dose.
+func (e *Eval) applyShot(s geom.Rect, sign float64) {
+	i0, j0, i1, j1 := e.P.Model.SupportBox(e.P.Grid, s)
+	if i1 < i0 || j1 < j0 {
+		e.finishMutation(0)
+		return
+	}
+	e.retireSpan(i0, j0, i1, j1)
+	e.P.Model.AccumulateShot(e.Dose, s, sign)
+	e.restoreSpan(i0, j0, i1, j1)
+	e.finishMutation(2 * (i1 - i0 + 1) * (j1 - j0 + 1))
+}
+
+// retireSpan subtracts the cost terms and clears the fail bits of every
+// failing pixel in the box, in preparation for a dose change there. The
+// bitmaps are the authority on which pixels currently contribute, which
+// keeps counts, bits and the running cost in lockstep.
+func (e *Eval) retireSpan(i0, j0, i1, j1 int) {
+	g := e.P.Grid
+	rho := e.P.Params.Rho
+	for j := j0; j <= j1; j++ {
+		base := j * g.W
+		for i := i0; i <= i1; i++ {
+			k := base + i
+			if e.failOn.Bits[k] {
+				e.failOn.Bits[k] = false
+				e.stats.FailOn--
+				e.stats.Cost -= rho - e.Dose.V[k]
+			} else if e.failOff.Bits[k] {
+				e.failOff.Bits[k] = false
+				e.stats.FailOff--
+				e.stats.Cost -= e.Dose.V[k] - rho
+			}
+		}
+	}
+}
+
+// restoreSpan re-classifies every constrained pixel in the box against
+// the updated dose field, adding back cost terms and fail bits.
+func (e *Eval) restoreSpan(i0, j0, i1, j1 int) {
+	p := e.P
+	g := p.Grid
+	rho := p.Params.Rho
+	for j := j0; j <= j1; j++ {
+		base := j * g.W
+		for i := i0; i <= i1; i++ {
+			k := base + i
+			v := e.Dose.V[k]
+			switch p.Class[k] {
+			case On:
+				if v < rho {
+					e.failOn.Bits[k] = true
+					e.stats.FailOn++
+					e.stats.Cost += rho - v
+				}
+			case Off:
+				if v >= rho {
+					e.failOff.Bits[k] = true
+					e.stats.FailOff++
+					e.stats.Cost += v - rho
+				}
+			}
+		}
+	}
+}
+
+// finishMutation updates the effort counters after a committed mutation
+// that scanned px pixels and re-anchors the running cost when the
+// configuration is feasible (the only state in which the exact cost is
+// known without a scan: zero).
+func (e *Eval) finishMutation(px int) {
+	e.Mutations++
+	e.PixelsMutated += int64(px)
+	if e.stats.FailOn == 0 && e.stats.FailOff == 0 {
+		e.stats.Cost = 0
+	}
+	evalMutationsTotal.Add(1)
+	evalPixelsMutatedTotal.Add(int64(px))
+	if obs, ok := mutationObserver.Load().(mutObs); ok && obs.fn != nil {
+		obs.fn(px)
+	}
+}
+
+// SetShot replaces shot i with s, updating dose and violation state by
+// scanning only the strips around the moved edges: O(changed strips),
+// the same region DeltaCost scores.
 func (e *Eval) SetShot(i int, s geom.Rect) {
-	e.P.Model.AccumulateShot(e.Dose, e.Shots[i], -1)
+	old := e.Shots[i]
+	if old == s {
+		return
+	}
 	e.Shots[i] = s
-	e.P.Model.AccumulateShot(e.Dose, s, 1)
+	e.moveScan(old, s, true)
+	if e.check {
+		e.crossCheck("SetShot")
+	}
 }
 
-// Stats scans the current dose field and returns violation statistics.
+// ApplyDelta commits the replacement of shot i by repl whose cost
+// change was already scored as delta via DeltaCost(i, repl). It is the
+// score-then-commit fast path for refinement loops: the commit scans
+// the same strips the scoring pass did and nothing else. In cross-check
+// mode the realized cost change is asserted against delta.
+func (e *Eval) ApplyDelta(i int, repl geom.Rect, delta float64) {
+	if !e.check {
+		e.SetShot(i, repl)
+		return
+	}
+	before := e.stats.Cost
+	e.SetShot(i, repl)
+	// the feasible case re-anchors cost to 0, legitimately breaking
+	// before+delta == after; only assert while violations remain
+	if e.stats.Fail() > 0 {
+		got := e.stats.Cost - before
+		if math.Abs(got-delta) > 1e-6+1e-9*math.Abs(before) {
+			panic(fmt.Sprintf("cover: ApplyDelta mismatch: scored %g, realized %g", delta, got))
+		}
+	}
+}
+
+// Stats returns the maintained violation statistics in O(1).
 func (e *Eval) Stats() Stats {
 	e.Evals++
-	return e.P.statsOf(e.Dose)
+	return e.stats
 }
 
 // SnapshotShots returns a copy of the current shot list.
@@ -406,24 +712,108 @@ func (e *Eval) SnapshotShots() []geom.Rect {
 	return out
 }
 
+// crossCheck asserts the maintained state against two references: an
+// exact scan of the evaluator's own dose field (counts and bitmaps must
+// match exactly, cost up to accumulated rounding) and a from-scratch
+// Problem.Evaluate, whose dose accumulates in shot order and therefore
+// also matches cost only up to rounding.
+func (e *Eval) crossCheck(op string) {
+	p := e.P
+	rho := p.Params.Rho
+	var own Stats
+	for k, c := range p.Class {
+		v := e.Dose.V[k]
+		fOn, fOff := false, false
+		switch c {
+		case On:
+			if v < rho {
+				fOn = true
+				own.FailOn++
+				own.Cost += rho - v
+			}
+		case Off:
+			if v >= rho {
+				fOff = true
+				own.FailOff++
+				own.Cost += v - rho
+			}
+		}
+		if fOn != e.failOn.Bits[k] || fOff != e.failOff.Bits[k] {
+			panic(fmt.Sprintf("cover: %s cross-check: bitmap mismatch at pixel %d", op, k))
+		}
+	}
+	const tol = 1e-6
+	if own.FailOn != e.stats.FailOn || own.FailOff != e.stats.FailOff ||
+		math.Abs(own.Cost-e.stats.Cost) > tol {
+		panic(fmt.Sprintf("cover: %s cross-check: maintained %+v != dose scan %+v", op, e.stats, own))
+	}
+	scratch := p.Evaluate(e.Shots)
+	if scratch.FailOn != e.stats.FailOn || scratch.FailOff != e.stats.FailOff ||
+		math.Abs(scratch.Cost-e.stats.Cost) > tol {
+		panic(fmt.Sprintf("cover: %s cross-check: maintained %+v != from-scratch %+v", op, e.stats, scratch))
+	}
+}
+
 // DeltaCost returns the change in Eq. 5 cost if shot i were replaced by
 // repl, without modifying the evaluator. The computation is local: only
 // pixels whose dose changes (the union of the strips around moved edges)
 // are visited, which makes candidate scoring during shot refinement
-// cheap (paper §4.1).
+// cheap (paper §4.1). Commit the move afterwards with ApplyDelta.
 func (e *Eval) DeltaCost(i int, repl geom.Rect) float64 {
 	old := e.Shots[i]
 	if old == repl {
 		return 0
 	}
 	e.Evals++
+	return e.moveScan(old, repl, false)
+}
+
+// edgeTables sizes the scratch tables for nc components over an
+// nx × ny union box, reusing the evaluator's backing buffer.
+func (e *Eval) edgeTables(nc, nx, ny int) *edgeTabs {
+	need := 2 * nc * (nx + ny)
+	if cap(e.buf) < need {
+		e.buf = make([]float64, need)
+	}
+	buf := e.buf[:need]
+	carve := func(n int) []float64 {
+		s := buf[:n:n]
+		buf = buf[n:]
+		return s
+	}
+	for c := 0; c < nc; c++ {
+		e.tab.exOld[c] = carve(nx)
+		e.tab.exNew[c] = carve(nx)
+		e.tab.eyOld[c] = carve(ny)
+		e.tab.eyNew[c] = carve(ny)
+	}
+	return &e.tab
+}
+
+// moveScan is the shared strip scanner behind DeltaCost and SetShot: it
+// visits the pixels whose dose the replacement old → repl changes — the
+// changed-interval strips intersected with the union support box — and
+// either scores the Eq. 5 cost change (commit=false, don't-care band
+// skipped) or commits it (commit=true, dose written and the maintained
+// stats/bitmaps retired-and-restored per pixel; band pixels still get
+// their dose update). Pixels outside the strips keep their dose
+// bit-for-bit: beyond the padded interval both edge profiles clamp to
+// identical values, so dI is exactly zero there.
+func (e *Eval) moveScan(old, repl geom.Rect, commit bool) float64 {
 	p := e.P
 	g := p.Grid
-	sup := p.Model.Support()
+	model := p.Model
+	sup := model.Support()
 
 	// x-interval and y-interval where the separable profiles differ
 	xLo, xHi, xChanged := changedInterval(old.X0, old.X1, repl.X0, repl.X1, sup)
 	yLo, yHi, yChanged := changedInterval(old.Y0, old.Y1, repl.Y0, repl.Y1, sup)
+	if !xChanged && !yChanged {
+		if commit {
+			e.finishMutation(0)
+		}
+		return 0
+	}
 
 	// overall support box (union of both shots' support)
 	ubox := old.Union(repl).Inset(-sup)
@@ -432,60 +822,98 @@ func (e *Eval) DeltaCost(i int, repl geom.Rect) float64 {
 	ui0, uj0 = g.ClampX(ui0), g.ClampY(uj0)
 	ui1, uj1 = g.ClampX(ui1), g.ClampY(uj1)
 
-	delta := 0.0
-	model := p.Model
+	// per-component 1D edge tables over the union box: O(W+H) profile
+	// evaluations up front make the area scans pure multiply-adds
 	nc := model.Components()
-	eyOld := make([]float64, nc)
-	eyNew := make([]float64, nc)
+	tab := e.edgeTables(nc, ui1-ui0+1, uj1-uj0+1)
+	for c := 0; c < nc; c++ {
+		model.EdgeProfiles(tab.exOld[c], c, g.X0, g.Pitch, ui0, old.X0, old.X1)
+		model.EdgeProfiles(tab.exNew[c], c, g.X0, g.Pitch, ui0, repl.X0, repl.X1)
+		model.EdgeProfiles(tab.eyOld[c], c, g.Y0, g.Pitch, uj0, old.Y0, old.Y1)
+		model.EdgeProfiles(tab.eyNew[c], c, g.Y0, g.Pitch, uj0, repl.Y0, repl.Y1)
+	}
+
+	rho := p.Params.Rho
+	delta, px := 0.0, 0
 	scan := func(i0, j0, i1, j1 int) {
 		if i1 < i0 || j1 < j0 {
 			return
 		}
+		px += (i1 - i0 + 1) * (j1 - j0 + 1)
 		for j := j0; j <= j1; j++ {
-			y := g.Y0 + (float64(j)+0.5)*g.Pitch
-			for c := 0; c < nc; c++ {
-				eyOld[c] = model.EdgeComponent(c, y, old.Y0, old.Y1)
-				eyNew[c] = model.EdgeComponent(c, y, repl.Y0, repl.Y1)
-			}
+			jo := j - uj0
 			base := j * g.W
 			for i := i0; i <= i1; i++ {
 				k := base + i
-				if p.Class[k] == Band {
+				cls := p.Class[k]
+				if !commit && cls == Band {
 					continue
 				}
-				x := g.X0 + (float64(i)+0.5)*g.Pitch
+				io := i - ui0
 				dI := 0.0
 				for c := 0; c < nc; c++ {
-					dI += model.Weight(c) * (model.EdgeComponent(c, x, repl.X0, repl.X1)*eyNew[c] -
-						model.EdgeComponent(c, x, old.X0, old.X1)*eyOld[c])
+					dI += model.Weight(c) * (tab.exNew[c][io]*tab.eyNew[c][jo] -
+						tab.exOld[c][io]*tab.eyOld[c][jo])
 				}
 				if dI == 0 {
 					continue
 				}
 				v := e.Dose.V[k]
-				delta += p.pixelCost(k, v+dI) - p.pixelCost(k, v)
+				if !commit {
+					delta += p.pixelCost(k, v+dI) - p.pixelCost(k, v)
+					continue
+				}
+				nv := v + dI
+				e.Dose.V[k] = nv
+				switch cls {
+				case On:
+					if e.failOn.Bits[k] {
+						e.failOn.Bits[k] = false
+						e.stats.FailOn--
+						e.stats.Cost -= rho - v
+					}
+					if nv < rho {
+						e.failOn.Bits[k] = true
+						e.stats.FailOn++
+						e.stats.Cost += rho - nv
+					}
+				case Off:
+					if e.failOff.Bits[k] {
+						e.failOff.Bits[k] = false
+						e.stats.FailOff--
+						e.stats.Cost -= v - rho
+					}
+					if nv >= rho {
+						e.failOff.Bits[k] = true
+						e.stats.FailOff++
+						e.stats.Cost += nv - rho
+					}
+				}
 			}
 		}
 	}
-	if xChanged && yChanged {
+	switch {
+	case xChanged && yChanged:
 		// general move: scan the whole union support box
 		scan(ui0, uj0, ui1, uj1)
-		return delta
-	}
-	if xChanged {
+	case xChanged:
 		// vertical strip only
 		i0, _ := g.PixelOf(geom.Pt(xLo, 0))
 		i1, _ := g.PixelOf(geom.Pt(xHi, 0))
 		scan(max(g.ClampX(i0), ui0), uj0, min(g.ClampX(i1), ui1), uj1)
-		return delta
-	}
-	if yChanged {
+	default:
+		// horizontal strip only
 		_, j0 := g.PixelOf(geom.Pt(0, yLo))
 		_, j1 := g.PixelOf(geom.Pt(0, yHi))
 		scan(ui0, max(g.ClampY(j0), uj0), ui1, min(g.ClampY(j1), uj1))
-		return delta
 	}
-	return 0
+	if commit {
+		e.finishMutation(px)
+	} else {
+		e.PixelsScored += int64(px)
+		evalPixelsScoredTotal.Add(int64(px))
+	}
+	return delta
 }
 
 // changedInterval returns the coordinate interval over which the 1D
@@ -506,24 +934,10 @@ func changedInterval(a0, a1, b0, b1, sup float64) (lo, hi float64, changed bool)
 
 // FailingBitmaps returns bitmaps of the failing Pon and Poff pixels of
 // the current configuration, used by the shot addition/removal steps
-// (paper §4.3–4.4).
+// (paper §4.3–4.4). The bitmaps are the evaluator's live maintained
+// state, returned in O(1): they are shared views that the next mutation
+// updates in place, so callers must treat them as read-only and must
+// not hold them across mutations (re-fetch instead — the call is free).
 func (e *Eval) FailingBitmaps() (failOn, failOff *raster.Bitmap) {
-	p := e.P
-	failOn = raster.NewBitmap(p.Grid)
-	failOff = raster.NewBitmap(p.Grid)
-	rho := p.Params.Rho
-	for k, c := range p.Class {
-		v := e.Dose.V[k]
-		switch c {
-		case On:
-			if v < rho {
-				failOn.Bits[k] = true
-			}
-		case Off:
-			if v >= rho {
-				failOff.Bits[k] = true
-			}
-		}
-	}
-	return failOn, failOff
+	return e.failOn, e.failOff
 }

@@ -201,6 +201,22 @@ func (m *Model) ShotIntensity(s geom.Rect, p geom.Point) float64 {
 	return total
 }
 
+// EdgeProfiles fills dst[i] with component c's edge factor
+// E_c(t; a, b) = P_c(t−a) − P_c(t−b) sampled at the centers of pixel
+// indices i0, i0+1, … along one grid axis with origin t0 and the given
+// pitch (dst[i] is the value at pixel index i0+i). It is the 1D
+// precomputation shared by AccumulateShot and the incremental
+// evaluator's strip scans: filling both axes once makes a box or strip
+// update O(W+H) profile evaluations plus a multiply-add per visited
+// pixel, instead of per-pixel LUT interpolation.
+func (m *Model) EdgeProfiles(dst []float64, c int, t0, pitch float64, i0 int, a, b float64) {
+	comp := &m.comps[c]
+	for i := range dst {
+		t := t0 + (float64(i0+i)+0.5)*pitch
+		dst[i] = comp.profile(t-a) - comp.profile(t-b)
+	}
+}
+
 // SupportBox returns the pixel-coordinate box (inclusive) of grid g that
 // a shot s can influence: s expanded by the support radius, clamped to
 // the grid.
@@ -225,14 +241,8 @@ func (m *Model) AccumulateShot(f *raster.Field, s geom.Rect, sign float64) {
 	ex := make([]float64, width)
 	ey := make([]float64, j1-j0+1)
 	for c := range m.comps {
-		for i := range ex {
-			x := g.X0 + (float64(i0+i)+0.5)*g.Pitch
-			ex[i] = m.EdgeComponent(c, x, s.X0, s.X1)
-		}
-		for j := range ey {
-			y := g.Y0 + (float64(j0+j)+0.5)*g.Pitch
-			ey[j] = m.EdgeComponent(c, y, s.Y0, s.Y1)
-		}
+		m.EdgeProfiles(ex, c, g.X0, g.Pitch, i0, s.X0, s.X1)
+		m.EdgeProfiles(ey, c, g.Y0, g.Pitch, j0, s.Y0, s.Y1)
 		w := sign * m.comps[c].weight
 		for j := j0; j <= j1; j++ {
 			rowW := w * ey[j-j0]

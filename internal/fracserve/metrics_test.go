@@ -117,8 +117,15 @@ func TestE2EMetricsMoveAfterFracture(t *testing.T) {
 		"fracd_queue_depth", "fracd_inflight_requests",
 		"fracd_queue_wait_seconds_count", "fracd_shots_per_shape_count",
 		`fracd_solve_duration_seconds_count{method="proto-eda"}`,
+		"fracd_eval_mutations_total", "fracd_eval_pixels_mutated_total",
+		"fracd_eval_pixels_scored_total", "fracd_eval_pixels_per_mutation_count",
 	} {
 		metricValue(t, after, name) // fatals if absent
+	}
+	// the solve above committed evaluator mutations; the process-wide
+	// counter (and the observer-fed histogram) must have moved
+	if got := metricValue(t, after, "fracd_eval_mutations_total"); got == "0" {
+		t.Error("fracd_eval_mutations_total did not move during a solve")
 	}
 }
 

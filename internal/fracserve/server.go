@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"maskfrac"
+	"maskfrac/internal/cover"
 	"maskfrac/internal/geom"
 	"maskfrac/internal/maskio"
 	"maskfrac/internal/telemetry"
@@ -217,6 +218,22 @@ func (s *Server) registerMetrics() {
 		func() float64 { return float64(s.cfg.Workers) })
 	r.GaugeFunc("fracd_uptime_seconds", "seconds since the server started",
 		func() float64 { return time.Since(s.start).Seconds() })
+	r.CounterFunc("fracd_eval_mutations_total",
+		"incremental evaluator mutations committed (process-wide)",
+		func() float64 { return float64(cover.EvalCounters().Mutations) })
+	r.CounterFunc("fracd_eval_pixels_mutated_total",
+		"pixels scanned committing evaluator mutations (process-wide)",
+		func() float64 { return float64(cover.EvalCounters().PixelsMutated) })
+	r.CounterFunc("fracd_eval_pixels_scored_total",
+		"pixels scanned scoring DeltaCost candidates (process-wide)",
+		func() float64 { return float64(cover.EvalCounters().PixelsScored) })
+	evalPx := r.Histogram("fracd_eval_pixels_per_mutation",
+		"pixels scanned committing one evaluator mutation",
+		[]float64{64, 256, 1024, 4096, 16384, 65536, 262144})
+	// the observer hook is process-wide (last registered server wins),
+	// which matches the one-server deployment of fracd; the totals above
+	// stay exact regardless
+	cover.SetMutationObserver(func(px int) { evalPx.Observe(float64(px)) })
 	if s.cache != nil {
 		r.CounterFunc("fracd_shapecache_hits_total",
 			"shape cache lookups answered from a stored entry or in-flight solve",

@@ -207,7 +207,7 @@ func EdgeAdjust(p *cover.Problem, e *cover.Eval, sweeps int) {
 				}
 			}
 			if bestDelta < -1e-12 {
-				e.SetShot(i, bestRect)
+				e.ApplyDelta(i, bestRect, bestDelta)
 				improved = true
 			}
 		}
@@ -219,11 +219,22 @@ func EdgeAdjust(p *cover.Problem, e *cover.Eval, sweeps int) {
 			break
 		}
 	}
-	// restore the best configuration seen
-	for len(e.Shots) > 0 {
-		e.Remove(0)
+	// restore the best configuration seen (skip the rebuild when the
+	// final sweep already holds it)
+	if !rectsEqual(e.Shots, best) {
+		e.Reset(best)
 	}
-	for _, s := range best {
-		e.Add(s)
+}
+
+// rectsEqual reports whether two shot lists are identical.
+func rectsEqual(a, b []geom.Rect) bool {
+	if len(a) != len(b) {
+		return false
 	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

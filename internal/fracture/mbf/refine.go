@@ -45,6 +45,7 @@ func refine(ctx context.Context, p *cover.Problem, shots []geom.Rect, opt Option
 		}
 		iterSpan := span.Child("mbf.iter")
 		evalsBefore := e.Evals
+		pxBefore := e.PixelsScored + e.PixelsMutated
 		if stalled(history, opt.NH) {
 			if opt.Trace {
 				println("  stall action at iter", iter, "failOn", st.FailOn, "failOff", st.FailOff)
@@ -76,12 +77,15 @@ func refine(ctx context.Context, p *cover.Problem, shots []geom.Rect, opt Option
 			iterSpan.Set("fail_on", st.FailOn)
 			iterSpan.Set("fail_off", st.FailOff)
 			iterSpan.Set("evals", e.Evals-evalsBefore)
+			iterSpan.Set("px", e.PixelsScored+e.PixelsMutated-pxBefore)
 			iterSpan.End()
 		}
 	}
 	span.Set("iterations", iters)
 	span.Set("fail", bestFail)
 	span.Set("evals", e.Evals)
+	span.Set("mutations", e.Mutations)
+	span.Set("px", e.PixelsScored+e.PixelsMutated)
 	span.End()
 	best = polish(ctx, p, best)
 	best = postCleanup(ctx, p, best, opt)
@@ -139,16 +143,8 @@ func postCleanup(ctx context.Context, p *cover.Problem, shots []geom.Rect, opt O
 				removed = true
 				break
 			}
-			// restore; Remove swapped the last shot into position i
-			// (unless s was the last), so put s back and re-append the
-			// displaced shot
-			if i < len(e.Shots) {
-				displaced := e.Shots[i]
-				e.SetShot(i, s)
-				e.Add(displaced)
-			} else {
-				e.Add(s)
-			}
+			// removal hurt: back out, restoring the original order
+			e.UndoRemove(i, s)
 		}
 		if !removed {
 			break
@@ -311,10 +307,11 @@ func greedyEdgeAdjust(e *cover.Eval, opt Options) bool {
 		}
 		// re-score against the current configuration; earlier accepted
 		// moves may have changed the benefit
-		if e.DeltaCost(c.shot, nr) >= 0 {
+		delta := e.DeltaCost(c.shot, nr)
+		if delta >= 0 {
 			continue
 		}
-		e.SetShot(c.shot, nr)
+		e.ApplyDelta(c.shot, nr, delta)
 		blocked = append(blocked, seg{a, b})
 		moved = true
 	}

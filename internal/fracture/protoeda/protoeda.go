@@ -161,13 +161,7 @@ func dropRedundant(p *cover.Problem, shots []geom.Rect) []geom.Rect {
 				removed = true
 				break
 			}
-			if i < len(e.Shots) {
-				displaced := e.Shots[i]
-				e.SetShot(i, s)
-				e.Add(displaced)
-			} else {
-				e.Add(s)
-			}
+			e.UndoRemove(i, s)
 		}
 		if !removed {
 			return e.SnapshotShots()

@@ -6,10 +6,10 @@
 # Usage:
 #	scripts/benchstat.sh [BENCH_PATTERN] [BENCHTIME]
 #
-# BENCH_PATTERN defaults to the quick cache benchmarks plus the
-# decompose–solve–stitch engine benchmark (the full Table 2 solver
-# benchmarks take minutes each); pass '.' to run everything. BENCHTIME
-# defaults to 1x.
+# BENCH_PATTERN defaults to the quick cache benchmarks, the
+# decompose–solve–stitch engine benchmark and the incremental-evaluator
+# refinement benchmark (the full Table 2 solver benchmarks take minutes
+# each); pass '.' to run everything. BENCHTIME defaults to 1x.
 #
 # BenchmarkEngineRegions compares 1 vs 4 workers on a four-region
 # instance; the speedup scales with available CPUs (a single-CPU
@@ -19,7 +19,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-pattern="${1:-BenchmarkShapeCache|BenchmarkBatchCache|BenchmarkEngineRegions}"
+pattern="${1:-BenchmarkShapeCache|BenchmarkBatchCache|BenchmarkEngineRegions|BenchmarkRefine}"
 benchtime="${2:-1x}"
 date="$(date -u +%Y-%m-%d)"
 out="BENCH_${date}.json"

@@ -36,4 +36,10 @@ go test -race -run 'TestE2E' ./internal/fracserve
 echo "== go test -race -short =="
 go test -race -short ./...
 
+# one pass of the refinement benchmark exercises the incremental
+# evaluator's strip scans, effort counters and observer hook under the
+# race detector on every check
+echo "== go test -race -bench Refine (smoke) =="
+go test -race -run '^$' -bench 'BenchmarkRefine' -benchtime 1x .
+
 echo "check ok"
