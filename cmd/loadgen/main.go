@@ -1,0 +1,316 @@
+// loadgen replays full-mask traffic against a locally spawned fracd
+// cluster and reports what the cluster is for: latency percentiles,
+// shot throughput, and per-node cache-hit rate.
+//
+// It spawns -nodes in-process fracd servers, routes every placement of
+// the input layout (a hierarchical GDSII from -gds, or the synthetic
+// shapegen full-mask demo) through the internal/cluster router, and
+// scrapes each node's /stats when the replay drains. Unlike the
+// pipeline driver, loadgen deliberately skips run-level class
+// memoization: every placement becomes a wire request, the way a fleet
+// of independent prep jobs would hit a shared cluster, so repeated
+// congruence classes land as node cache hits and the measured hit rate
+// is the real one.
+//
+// Usage:
+//
+//	loadgen -nodes 3 -method proto-eda -cols 8 -rows 8 -json BENCH.json
+//	loadgen -gds mask.gds -method mbf
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"maskfrac/internal/cluster"
+	"maskfrac/internal/fracserve"
+	"maskfrac/internal/maskio"
+	"maskfrac/internal/shapecache"
+	"maskfrac/internal/shapegen"
+	"maskfrac/internal/writecost"
+)
+
+type nodeReport struct {
+	ID        string  `json:"id"`
+	Requests  uint64  `json:"requests"`
+	CacheHits uint64  `json:"cache_hits"`
+	CacheMiss uint64  `json:"cache_misses"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+type report struct {
+	Date       string  `json:"date"`
+	Input      string  `json:"input"`
+	Method     string  `json:"method"`
+	Nodes      int     `json:"nodes"`
+	Placements int64   `json:"placements"`
+	Classes    int     `json:"classes"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+
+	LatencyMS struct {
+		P50  float64 `json:"p50"`
+		P90  float64 `json:"p90"`
+		P99  float64 `json:"p99"`
+		Mean float64 `json:"mean"`
+		Max  float64 `json:"max"`
+	} `json:"latency_ms"`
+
+	PlacementsPerSec float64 `json:"placements_per_sec"`
+	ShotsPerSec      float64 `json:"shots_per_sec"`
+	TotalShots       int64   `json:"total_shots"`
+	EstWriteTimeSec  float64 `json:"est_write_time_sec"`
+
+	ClusterHitRate float64      `json:"cluster_cache_hit_rate"`
+	NodeReports    []nodeReport `json:"nodes_detail"`
+
+	Retries     float64 `json:"retries"`
+	Hedges      float64 `json:"hedges"`
+	Failovers   float64 `json:"failovers"`
+	Coalesced   float64 `json:"client_singleflight_dedup"`
+	RingChanges uint64  `json:"ring_rebalances"`
+}
+
+func main() {
+	nodes := flag.Int("nodes", 3, "fracd nodes to spawn")
+	gds := flag.String("gds", "", "hierarchical GDSII input (default: synthetic demo layout)")
+	cols := flag.Int("cols", 8, "synthetic layout tile columns")
+	rows := flag.Int("rows", 8, "synthetic layout tile rows")
+	method := flag.String("method", "proto-eda", "fracturing method")
+	concurrency := flag.Int("concurrency", 16, "concurrent placement requests")
+	inflight := flag.Int("max-inflight", 8, "per-node in-flight cap (back-pressure)")
+	hedge := flag.Duration("hedge", 0, "tail-hedge delay (0 disables)")
+	workers := flag.Int("node-workers", 4, "solver workers per node")
+	jsonOut := flag.String("json", "", "write the report as JSON to this path")
+	flag.Parse()
+
+	lib, input, err := loadLibrary(*gds, *cols, *rows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	placements, err := lib.PlacementCount()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replaying %d placements (%s) against %d nodes, method %s, concurrency %d\n",
+		placements, input, *nodes, *method, *concurrency)
+
+	cl, shutdown, err := spawnCluster(*nodes, cluster.Config{
+		Method:      *method,
+		MaxInflight: *inflight,
+		HedgeDelay:  *hedge,
+		Fallbacks:   2,
+	}, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer shutdown()
+
+	rep, err := replay(context.Background(), cl, lib, *method, *concurrency)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep.Date = time.Now().UTC().Format("2006-01-02")
+	rep.Input = input
+	rep.Method = *method
+	rep.Nodes = *nodes
+
+	printReport(rep)
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nreport written to %s\n", *jsonOut)
+	}
+}
+
+func loadLibrary(path string, cols, rows int) (*maskio.Library, string, error) {
+	if path == "" {
+		return shapegen.DemoLibrary(cols, rows), fmt.Sprintf("synthetic %dx%d demo", cols, rows), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	lib, err := maskio.ReadGDSLib(f)
+	if err != nil {
+		return nil, "", fmt.Errorf("read %s: %w", path, err)
+	}
+	return lib, path, nil
+}
+
+// spawnCluster starts n in-process fracd servers on loopback listeners
+// and wires them into one routed client.
+func spawnCluster(n int, cfg cluster.Config, workers int) (*cluster.Client, func(), error) {
+	cl := cluster.NewClient(cfg)
+	var stops []func()
+	shutdown := func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}
+	for i := 0; i < n; i++ {
+		srv := fracserve.New(fracserve.Config{Workers: workers, QueueDepth: 256})
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			shutdown()
+			return nil, nil, err
+		}
+		go srv.Serve(l)
+		stops = append(stops, func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		})
+		id := fmt.Sprintf("node-%d", i)
+		cl.AddNode(id, "http://"+l.Addr().String())
+	}
+	return cl, shutdown, nil
+}
+
+// replay streams every placement through the cluster with a bounded
+// worker pool, one wire-visible request per placement.
+func replay(ctx context.Context, cl *cluster.Client, lib *maskio.Library, method string, concurrency int) (*report, error) {
+	type item struct {
+		key shapecache.Key
+		can shapecache.Canonical
+	}
+	jobs := make(chan item, concurrency)
+
+	var (
+		mu        sync.Mutex
+		latencies []float64 // ms
+		shots     int64
+		classes   = make(map[shapecache.Key]struct{})
+		firstErr  error
+	)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := range jobs {
+				t0 := time.Now()
+				res, err := cl.SolveClass(ctx, it.key, it.can.Poly)
+				ms := float64(time.Since(t0).Microseconds()) / 1000
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+						cancel()
+					}
+					mu.Unlock()
+					continue
+				}
+				latencies = append(latencies, ms)
+				shots += int64(res.ShotCount)
+				classes[it.key] = struct{}{}
+				mu.Unlock()
+			}
+		}()
+	}
+
+	start := time.Now()
+	walkErr := lib.Walk(func(pl maskio.Placement) error {
+		can := shapecache.Canonicalize(pl.Polygon)
+		select {
+		case jobs <- item{key: can.KeyWith([]byte(method)), can: can}:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	})
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if walkErr != nil {
+		return nil, walkErr
+	}
+
+	rep := &report{
+		Placements: int64(len(latencies)),
+		Classes:    len(classes),
+		ElapsedSec: elapsed.Seconds(),
+		TotalShots: shots,
+	}
+	sort.Float64s(latencies)
+	pct := func(p float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	var sum float64
+	for _, v := range latencies {
+		sum += v
+	}
+	rep.LatencyMS.P50 = pct(0.50)
+	rep.LatencyMS.P90 = pct(0.90)
+	rep.LatencyMS.P99 = pct(0.99)
+	if n := len(latencies); n > 0 {
+		rep.LatencyMS.Mean = sum / float64(n)
+		rep.LatencyMS.Max = latencies[n-1]
+	}
+	rep.PlacementsPerSec = float64(rep.Placements) / elapsed.Seconds()
+	rep.ShotsPerSec = float64(shots) / elapsed.Seconds()
+	rep.EstWriteTimeSec = writecost.Default().WriteTime(shots).Seconds()
+
+	var hits, misses uint64
+	for _, id := range cl.Nodes() {
+		st, err := cl.NodeStats(ctx, id)
+		if err != nil {
+			return nil, fmt.Errorf("stats %s: %w", id, err)
+		}
+		nr := nodeReport{
+			ID:        id,
+			Requests:  st.Requests,
+			CacheHits: st.Cache.Hits,
+			CacheMiss: st.Cache.Misses,
+		}
+		if t := nr.CacheHits + nr.CacheMiss; t > 0 {
+			nr.HitRate = float64(nr.CacheHits) / float64(t)
+		}
+		rep.NodeReports = append(rep.NodeReports, nr)
+		hits += st.Cache.Hits
+		misses += st.Cache.Misses
+	}
+	if t := hits + misses; t > 0 {
+		rep.ClusterHitRate = float64(hits) / float64(t)
+	}
+	rep.Retries, rep.Hedges, rep.Failovers, rep.Coalesced = cl.CounterValues()
+	rep.RingChanges = cl.RingRebalances()
+	return rep, nil
+}
+
+func printReport(r *report) {
+	fmt.Printf("\n%d placements, %d congruence classes in %.2fs\n", r.Placements, r.Classes, r.ElapsedSec)
+	fmt.Printf("latency  p50 %.2fms  p90 %.2fms  p99 %.2fms  mean %.2fms  max %.2fms\n",
+		r.LatencyMS.P50, r.LatencyMS.P90, r.LatencyMS.P99, r.LatencyMS.Mean, r.LatencyMS.Max)
+	fmt.Printf("throughput  %.0f placements/s  %.0f shots/s  (%d shots, est. write %.1fs)\n",
+		r.PlacementsPerSec, r.ShotsPerSec, r.TotalShots, r.EstWriteTimeSec)
+	fmt.Printf("cluster cache hit rate %.1f%%  (retries %.0f, hedges %.0f, failovers %.0f, singleflight dedup %.0f)\n",
+		100*r.ClusterHitRate, r.Retries, r.Hedges, r.Failovers, r.Coalesced)
+	for _, n := range r.NodeReports {
+		fmt.Printf("  %-8s requests %-6d hits %-6d misses %-4d hit rate %.1f%%\n",
+			n.ID, n.Requests, n.CacheHits, n.CacheMiss, 100*n.HitRate)
+	}
+}

@@ -2,18 +2,54 @@
 // shape is independent, as the paper notes a practical tool must
 // exploit), then roll the shot totals into the mask write-time and
 // cost model.
+//
+// With -write-gds, instead emit the synthetic full-mask layout as a
+// hierarchical GDSII file (SREF/AREF, ten congruence classes repeated
+// across the grid) — the input format cmd/loadgen replays against a
+// fracd cluster.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"log"
+	"os"
 	"runtime"
 	"time"
 
 	"maskfrac"
+	"maskfrac/internal/maskio"
+	"maskfrac/internal/shapegen"
 	"maskfrac/internal/writecost"
 )
 
 func main() {
+	writeGDS := flag.String("write-gds", "", "write the synthetic full-mask hierarchy as GDSII to this path and exit")
+	cols := flag.Int("cols", 8, "tile columns for -write-gds")
+	rows := flag.Int("rows", 8, "tile rows for -write-gds")
+	flag.Parse()
+
+	if *writeGDS != "" {
+		lib := shapegen.DemoLibrary(*cols, *rows)
+		n, err := lib.PlacementCount()
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(*writeGDS)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := maskio.WriteGDSLib(f, lib); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s: %d cells, %d×%d tile grid, %d placements\n",
+			*writeGDS, len(lib.Cells), *cols, *rows, n)
+		return
+	}
+
 	params := maskfrac.DefaultParams()
 	suite := maskfrac.ILTSuite()
 	targets := make([]maskfrac.Polygon, len(suite))

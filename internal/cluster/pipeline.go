@@ -1,0 +1,256 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"maskfrac/internal/geom"
+	"maskfrac/internal/maskio"
+	"maskfrac/internal/shapecache"
+	"maskfrac/internal/telemetry"
+	"maskfrac/internal/writecost"
+)
+
+// PipelineConfig tunes one full-mask run.
+type PipelineConfig struct {
+	// Workers is the number of placements canonicalized/resolved
+	// concurrently (default 8). Distinct congruence classes solve in
+	// parallel up to this bound; repeated classes resolve from the run's
+	// memo without touching the cluster.
+	Workers int
+	// Window bounds the reorder buffer that restores walk order on
+	// output (default 4*Workers). It is the only pipeline state that
+	// grows with placement skew, so memory stays O(Window + classes)
+	// regardless of mask size.
+	Window int
+	// WriteModel prices the aggregate shot count (default
+	// writecost.Default()).
+	WriteModel *writecost.Model
+	// OnResult, when non-nil, observes every placement in walk order
+	// (Seq strictly increasing). Returning an error aborts the run.
+	OnResult func(*PlacementResult) error
+}
+
+func (c PipelineConfig) withDefaults() PipelineConfig {
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.Window <= 0 {
+		c.Window = 4 * c.Workers
+	}
+	if c.WriteModel == nil {
+		m := writecost.Default()
+		c.WriteModel = &m
+	}
+	return c
+}
+
+// PlacementResult is one placement's outcome, in placement (world)
+// coordinates.
+type PlacementResult struct {
+	Seq    int64
+	Cell   string
+	Shape  int
+	Orient maskio.Orient
+	Origin geom.Point
+	Key    shapecache.Key
+	// Class is the cluster's canonical-frame answer, shared by every
+	// placement of the congruence class.
+	Class *ClassResult
+	// Shots is the shot list mapped into this placement's frame; nil
+	// unless the client requested shots.
+	Shots []geom.Rect
+}
+
+// MaskResult aggregates a full-mask run.
+type MaskResult struct {
+	// Placements is the number of shape placements streamed.
+	Placements int64
+	// Classes is the number of distinct congruence classes solved.
+	Classes int
+	// ClusterRequests counts SolveClass calls issued (== Classes: the
+	// memo stops repeats, singleflight stops concurrent duplicates).
+	ClusterRequests int64
+	// NodeCacheHits counts classes answered from a node's cache shard —
+	// nonzero only when nodes were warm before the run.
+	NodeCacheHits int
+	// Shots is the mask total: each class's shot count times its
+	// placement multiplicity.
+	Shots int64
+	// FailOn/FailOff total CD violations across all placements.
+	FailOn, FailOff int64
+	// Infeasible counts placements whose class solution violates CD
+	// constraints.
+	Infeasible int64
+	// WriteTime is the modeled mask write time for Shots.
+	WriteTime time.Duration
+	// Elapsed is the wall-clock run time.
+	Elapsed time.Duration
+}
+
+// classMemo caches completed class solves for the lifetime of one run,
+// so a class appearing in a million placements crosses the network
+// once.
+type classMemo struct {
+	mu sync.Mutex
+	m  map[shapecache.Key]*memoEntry
+}
+
+type memoEntry struct {
+	done chan struct{}
+	res  *ClassResult
+	err  error
+}
+
+// resolve returns the class result, computing it via fn exactly once
+// per key; concurrent and later callers wait on / reuse the first call.
+func (mc *classMemo) resolve(ctx context.Context, key shapecache.Key, fn func() (*ClassResult, error)) (*ClassResult, bool, error) {
+	mc.mu.Lock()
+	if e, ok := mc.m[key]; ok {
+		mc.mu.Unlock()
+		select {
+		case <-e.done:
+			return e.res, false, e.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	e := &memoEntry{done: make(chan struct{})}
+	mc.m[key] = e
+	mc.mu.Unlock()
+	e.res, e.err = fn()
+	close(e.done)
+	return e.res, true, e.err
+}
+
+// RunPipeline streams lib's placements through the cluster and
+// reassembles results in deterministic walk order. The walker runs
+// incrementally — back-pressure from the reorder window pauses it, so
+// the pipeline never materializes the flattened mask.
+func RunPipeline(ctx context.Context, c *Client, lib *maskio.Library, cfg PipelineConfig) (*MaskResult, error) {
+	cfg = cfg.withDefaults()
+	if err := lib.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: invalid library: %w", err)
+	}
+	start := time.Now()
+	ctx, span := telemetry.StartSpan(ctx, "cluster.pipeline")
+	defer span.End()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type job struct {
+		pl  maskio.Placement
+		can shapecache.Canonical
+		key shapecache.Key
+		fut chan *PlacementResult // buffered(1); closed without a value on failure
+	}
+	jobs := make(chan job, cfg.Workers)
+	order := make(chan chan *PlacementResult, cfg.Window)
+
+	var (
+		memo     = classMemo{m: make(map[shapecache.Key]*memoEntry)}
+		firstErr error
+		errOnce  sync.Once
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err; cancel() })
+	}
+
+	// producer: walk the hierarchy, canonicalize, hand each placement a
+	// future. The order channel's capacity is the reorder window; when
+	// the consumer falls behind, send blocks and the walk pauses.
+	go func() {
+		defer close(jobs)
+		defer close(order)
+		err := lib.Walk(func(pl maskio.Placement) error {
+			can := shapecache.Canonicalize(pl.Polygon)
+			j := job{pl: pl, can: can, key: can.KeyWith([]byte(c.cfg.Method)), fut: make(chan *PlacementResult, 1)}
+			select {
+			case order <- j.fut:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			select {
+			case jobs <- j:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			return nil
+		})
+		if err != nil && ctx.Err() == nil {
+			fail(err)
+		}
+	}()
+
+	// workers: resolve each placement's class (memo → singleflight →
+	// router) and fulfill its future out of order. Workers exit when the
+	// producer closes jobs; the consumer below outlives them because
+	// every future is fulfilled before its worker moves on.
+	for w := 0; w < cfg.Workers; w++ {
+		go func() {
+			for j := range jobs {
+				res, _, err := memo.resolve(ctx, j.key, func() (*ClassResult, error) {
+					return c.SolveClass(ctx, j.key, j.can.Poly)
+				})
+				if err != nil {
+					fail(fmt.Errorf("cluster: placement %d (%s): %w", j.pl.Seq, j.pl.Cell, err))
+					close(j.fut)
+					continue
+				}
+				pr := &PlacementResult{
+					Seq:    j.pl.Seq,
+					Cell:   j.pl.Cell,
+					Shape:  j.pl.Shape,
+					Orient: j.pl.Orient,
+					Origin: j.pl.Origin,
+					Key:    j.key,
+					Class:  res,
+				}
+				if res.Shots != nil {
+					pr.Shots = j.can.FromCanonical(res.Shots)
+				}
+				j.fut <- pr
+			}
+		}()
+	}
+
+	// consumer: drain futures in walk order and aggregate.
+	mr := &MaskResult{}
+	seen := make(map[shapecache.Key]struct{})
+	for fut := range order {
+		pr, ok := <-fut
+		if !ok {
+			continue // failure recorded via fail(); keep draining
+		}
+		mr.Placements++
+		mr.Shots += int64(pr.Class.ShotCount)
+		mr.FailOn += int64(pr.Class.FailOn)
+		mr.FailOff += int64(pr.Class.FailOff)
+		if !pr.Class.Feasible {
+			mr.Infeasible++
+		}
+		if _, dup := seen[pr.Key]; !dup {
+			seen[pr.Key] = struct{}{}
+			if pr.Class.CacheHit {
+				mr.NodeCacheHits++
+			}
+		}
+		if cfg.OnResult != nil {
+			if err := cfg.OnResult(pr); err != nil {
+				fail(err)
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	mr.Classes = len(seen)
+	mr.ClusterRequests = int64(len(seen))
+	mr.WriteTime = cfg.WriteModel.WriteTime(mr.Shots)
+	mr.Elapsed = time.Since(start)
+	span.Set("placements", mr.Placements)
+	span.Set("classes", mr.Classes)
+	return mr, nil
+}

@@ -1,0 +1,168 @@
+// Package cluster turns N independent fracd nodes into one sharded
+// fracturing cluster. Work is routed by consistent-hashing the
+// shapecache canonical key of each congruence class, so a class is
+// solved on exactly one node cluster-wide and every node's LRU becomes
+// one shard of a distributed cache: adding capacity adds cache, not
+// duplicate solves. The package has three layers — a hash ring
+// (ring.go), a routed client with back-pressure, retries, hedging and
+// singleflight (client.go), and a streaming pipeline driver that walks
+// a GDSII hierarchy through the router and reassembles per-placement
+// results in deterministic order (pipeline.go).
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"sync"
+
+	"maskfrac/internal/shapecache"
+)
+
+// defaultVnodes is the number of virtual points each node contributes
+// to the ring. 128 points keep the largest/smallest shard ratio within
+// a few percent for small clusters while Add/Remove stay cheap.
+const defaultVnodes = 128
+
+// Ring is a consistent-hash ring over node IDs. Keys (shapecache
+// canonical keys) map to the first virtual point clockwise; removing a
+// node reassigns only that node's arcs, so cache shards on surviving
+// nodes stay warm through membership changes — the property a modulo
+// hash lacks.
+type Ring struct {
+	mu         sync.RWMutex
+	vnodes     int
+	points     []ringPoint // sorted by hash
+	members    map[string]struct{}
+	rebalances uint64 // membership changes applied
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing returns an empty ring with vnodes virtual points per node
+// (<= 0 selects the default of 128).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = defaultVnodes
+	}
+	return &Ring{vnodes: vnodes, members: make(map[string]struct{})}
+}
+
+// pointHash derives the ring position of one virtual point.
+func pointHash(node string, replica int) uint64 {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(replica))
+	h := sha256.New()
+	h.Write([]byte(node))
+	h.Write([]byte{0})
+	h.Write(buf[:])
+	sum := h.Sum(nil)
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// keyHash maps a canonical key onto the ring. The key is already a
+// sha256 digest, so its first eight bytes are uniformly distributed.
+func keyHash(k shapecache.Key) uint64 {
+	return binary.BigEndian.Uint64(k[:8])
+}
+
+// Add inserts a node. Adding an existing member is a no-op.
+func (r *Ring) Add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[node]; ok {
+		return
+	}
+	r.members[node] = struct{}{}
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{hash: pointHash(node, i), node: node})
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	r.rebalances++
+}
+
+// Remove deletes a node. Removing a non-member is a no-op.
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[node]; !ok {
+		return
+	}
+	delete(r.members, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+	r.rebalances++
+}
+
+// Members returns the node IDs, sorted.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for n := range r.members {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Rebalances returns the number of membership changes applied.
+func (r *Ring) Rebalances() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.rebalances
+}
+
+// Lookup returns the node owning key: the first virtual point at or
+// clockwise of the key's hash. Returns "" on an empty ring.
+func (r *Ring) Lookup(key shapecache.Key) string {
+	nodes := r.LookupN(key, 1)
+	if len(nodes) == 0 {
+		return ""
+	}
+	return nodes[0]
+}
+
+// LookupN returns up to n distinct nodes in clockwise preference order
+// starting at the key's owner. The tail entries are the natural
+// failover/hedging targets: every client computes the same order, so a
+// class displaced by a node failure lands on the same fallback
+// everywhere and is still solved only once.
+func (r *Ring) LookupN(key shapecache.Key, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := keyHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]struct{}, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, dup := seen[p.node]; dup {
+			continue
+		}
+		seen[p.node] = struct{}{}
+		out = append(out, p.node)
+	}
+	return out
+}

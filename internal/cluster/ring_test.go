@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"maskfrac/internal/shapecache"
+)
+
+// synthetic keys: sha256 of a counter, matching the uniformity of real
+// canonical keys.
+func testKey(i int) shapecache.Key {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(i))
+	return shapecache.Key(sha256.Sum256(buf[:]))
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(0)
+	if got := r.Lookup(testKey(1)); got != "" {
+		t.Errorf("Lookup on empty ring = %q", got)
+	}
+	if got := r.LookupN(testKey(1), 3); got != nil {
+		t.Errorf("LookupN on empty ring = %v", got)
+	}
+	if r.Len() != 0 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestRingLookupDeterministic(t *testing.T) {
+	mk := func() *Ring {
+		r := NewRing(64)
+		for _, n := range []string{"nodeC", "nodeA", "nodeB"} {
+			r.Add(n)
+		}
+		return r
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 200; i++ {
+		k := testKey(i)
+		na, nb := a.LookupN(k, 3), b.LookupN(k, 3)
+		if !reflect.DeepEqual(na, nb) {
+			t.Fatalf("key %d: rings disagree: %v vs %v", i, na, nb)
+		}
+		if len(na) != 3 {
+			t.Fatalf("key %d: LookupN(3) = %v", i, na)
+		}
+		seen := map[string]bool{}
+		for _, n := range na {
+			if seen[n] {
+				t.Fatalf("key %d: duplicate node in %v", i, na)
+			}
+			seen[n] = true
+		}
+		if a.Lookup(k) != na[0] {
+			t.Fatalf("key %d: Lookup != LookupN[0]", i)
+		}
+	}
+	// insertion order must not matter
+	c := NewRing(64)
+	for _, n := range []string{"nodeB", "nodeC", "nodeA"} {
+		c.Add(n)
+	}
+	for i := 0; i < 200; i++ {
+		if a.Lookup(testKey(i)) != c.Lookup(testKey(i)) {
+			t.Fatal("ring depends on insertion order")
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing(0) // default vnodes
+	nodes := []string{"n0", "n1", "n2"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	const keys = 12000
+	counts := map[string]int{}
+	for i := 0; i < keys; i++ {
+		counts[r.Lookup(testKey(i))]++
+	}
+	// perfect balance is keys/3; 128 vnodes should keep every shard
+	// within ±50% of fair
+	for _, n := range nodes {
+		share := float64(counts[n]) / keys
+		if share < 1.0/6 || share > 1.0/2 {
+			t.Errorf("node %s owns %.1f%% of keys (counts %v)", n, 100*share, counts)
+		}
+	}
+}
+
+// TestRingRemovalStability is the consistent-hashing contract: removing
+// a node reroutes only the keys it owned, and each displaced key lands
+// on what was its second candidate — so failover targets and
+// post-removal owners agree, and surviving cache shards stay warm.
+func TestRingRemovalStability(t *testing.T) {
+	r := NewRing(0)
+	for _, n := range []string{"n0", "n1", "n2"} {
+		r.Add(n)
+	}
+	const keys = 2000
+	before := make([][]string, keys)
+	for i := 0; i < keys; i++ {
+		before[i] = r.LookupN(testKey(i), 2)
+	}
+	if r.Rebalances() != 3 {
+		t.Errorf("rebalances = %d after 3 adds", r.Rebalances())
+	}
+	r.Remove("n1")
+	if r.Rebalances() != 4 {
+		t.Errorf("rebalances = %d after removal", r.Rebalances())
+	}
+	moved := 0
+	for i := 0; i < keys; i++ {
+		after := r.Lookup(testKey(i))
+		if before[i][0] != "n1" {
+			if after != before[i][0] {
+				t.Fatalf("key %d moved from surviving owner %s to %s", i, before[i][0], after)
+			}
+			continue
+		}
+		moved++
+		if after != before[i][1] {
+			t.Fatalf("displaced key %d went to %s, not its second candidate %s", i, after, before[i][1])
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed node owned no keys; test is vacuous")
+	}
+	// idempotence
+	r.Remove("n1")
+	r.Add("n0")
+	if r.Rebalances() != 4 || r.Len() != 2 {
+		t.Errorf("no-op membership ops changed the ring: rebalances=%d len=%d", r.Rebalances(), r.Len())
+	}
+}
+
+func TestRingVnodeScaling(t *testing.T) {
+	// more vnodes must tighten balance, never loosen correctness
+	for _, v := range []int{1, 16, 256} {
+		r := NewRing(v)
+		r.Add("a")
+		r.Add("b")
+		k := testKey(7)
+		n := r.LookupN(k, 2)
+		if len(n) != 2 || n[0] == n[1] {
+			t.Errorf("vnodes=%d: LookupN = %v", v, n)
+		}
+	}
+}
+
+func BenchmarkRingLookup(b *testing.B) {
+	r := NewRing(0)
+	for i := 0; i < 8; i++ {
+		r.Add(fmt.Sprintf("node-%d", i))
+	}
+	keys := make([]shapecache.Key, 1024)
+	for i := range keys {
+		keys[i] = testKey(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Lookup(keys[i%len(keys)])
+	}
+}

@@ -8,15 +8,47 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"maskfrac/internal/geom"
 	"maskfrac/internal/maskio"
 )
 
 // ErrQueueFull is returned by the client when the server rejects a
-// request because its work queue is at capacity (HTTP 429).
+// request because its work queue is at capacity (HTTP 429). The
+// concrete error is a *QueueFullError carrying the server's Retry-After
+// hint; errors.Is(err, ErrQueueFull) matches it.
 var ErrQueueFull = errors.New("fracserve: server queue full")
+
+// QueueFullError is the concrete 429 error: it matches ErrQueueFull
+// under errors.Is and carries the server's Retry-After hint so callers
+// can pace their retries to the server's request instead of guessing.
+type QueueFullError struct {
+	// After is the parsed Retry-After delay; 0 when the server sent no
+	// usable hint.
+	After time.Duration
+	// Msg is the server's error message.
+	Msg string
+}
+
+func (e *QueueFullError) Error() string {
+	return ErrQueueFull.Error() + ": " + e.Msg
+}
+
+// Is makes errors.Is(err, ErrQueueFull) match.
+func (e *QueueFullError) Is(target error) bool { return target == ErrQueueFull }
+
+// RetryAfter extracts the server's Retry-After hint from a client
+// error. It returns 0, false when err carries no hint.
+func RetryAfter(err error) (time.Duration, bool) {
+	var qf *QueueFullError
+	if errors.As(err, &qf) && qf.After > 0 {
+		return qf.After, true
+	}
+	return 0, false
+}
 
 // ErrDeadline is returned when the server abandons a request at its
 // deadline (HTTP 504).
@@ -57,7 +89,7 @@ func (c *Client) Do(ctx context.Context, req *Request) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp.Body)
 	if resp.StatusCode != http.StatusOK {
 		return nil, statusError(resp)
 	}
@@ -117,7 +149,7 @@ func (c *Client) Solve(ctx context.Context, req *SolveRequest) (*SolveResponse, 
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp.Body)
 	if resp.StatusCode != http.StatusOK {
 		return nil, statusError(resp)
 	}
@@ -153,7 +185,7 @@ func (c *Client) Stats(ctx context.Context) (*StatsReply, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp.Body)
 	if resp.StatusCode != http.StatusOK {
 		return nil, statusError(resp)
 	}
@@ -174,7 +206,7 @@ func (c *Client) Healthz(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp.Body)
 	if resp.StatusCode != http.StatusOK {
 		return statusError(resp)
 	}
@@ -194,9 +226,37 @@ func statusError(resp *http.Response) error {
 	}
 	switch resp.StatusCode {
 	case http.StatusTooManyRequests:
-		return fmt.Errorf("%w: %s", ErrQueueFull, msg)
+		return &QueueFullError{After: parseRetryAfter(resp.Header.Get("Retry-After")), Msg: msg}
 	case http.StatusGatewayTimeout:
 		return fmt.Errorf("%w: %s", ErrDeadline, msg)
 	}
 	return fmt.Errorf("fracserve: HTTP %d: %s", resp.StatusCode, msg)
+}
+
+// parseRetryAfter parses a Retry-After header: delay-seconds or an HTTP
+// date. Returns 0 on anything unusable.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.ParseFloat(v, 64); err == nil && secs >= 0 {
+		return time.Duration(secs * float64(time.Second))
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// drainClose consumes what is left of a response body before closing
+// it. An HTTP/1.1 connection only returns to the keep-alive pool when
+// its body has been read to EOF; closing early forces a fresh TCP (and
+// possibly TLS) handshake per request, which under load turns into
+// ephemeral-port exhaustion. The drain is capped so a misbehaving
+// server cannot pin the client.
+func drainClose(body io.ReadCloser) {
+	io.Copy(io.Discard, io.LimitReader(body, 1<<20))
+	body.Close()
 }

@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -294,5 +295,50 @@ func TestE2EDrainLogging(t *testing.T) {
 	}
 	if !strings.Contains(logs, `"drained_shapes":2`) {
 		t.Errorf("drained line does not report 2 drained shapes:\n%s", logs)
+	}
+}
+
+// TestClientReusesConnections proves the client drains and closes
+// response bodies on every path: success, JSON error replies and
+// plain-status replies. If any path leaves a body undrained, the
+// connection cannot return to the keep-alive pool and the transport
+// dials again — observable as more than one accepted connection.
+func TestClientReusesConnections(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 8})
+	ts := httptest.NewUnstartedServer(s.Handler())
+	var conns atomic.Int64
+	ts.Config.ConnState = func(c net.Conn, st http.ConnState) {
+		if st == http.StateNew {
+			conns.Add(1)
+		}
+	}
+	ts.Start()
+	t.Cleanup(ts.Close)
+
+	// a private transport so other tests' pooled connections can't mask
+	// a regression
+	tr := &http.Transport{MaxIdleConnsPerHost: 1}
+	t.Cleanup(tr.CloseIdleConnections)
+	c := NewClient(ts.URL)
+	c.HTTPClient = &http.Client{Transport: tr}
+
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if err := c.Healthz(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Fracture(ctx, geom.Polygon{{X: 0, Y: 0}, {X: 60, Y: 0}, {X: 60, Y: 60}, {X: 0, Y: 60}}, "proto-eda"); err != nil {
+			t.Fatal(err)
+		}
+		// error path: unknown method → 400 with a JSON body
+		if _, err := c.Fracture(ctx, geom.Polygon{{X: 0, Y: 0}, {X: 60, Y: 0}, {X: 60, Y: 60}, {X: 0, Y: 60}}, "no-such-method"); err == nil {
+			t.Fatal("unknown method succeeded")
+		}
+		if _, err := c.Stats(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := conns.Load(); got != 1 {
+		t.Errorf("server accepted %d connections across 12 requests, want 1 (bodies not drained?)", got)
 	}
 }

@@ -541,6 +541,9 @@ func (s *Server) handleFracture(w http.ResponseWriter, r *http.Request) {
 				s.drainRejected.Add(1)
 			}
 			s.log.Warn("queue full", "id", reqID, "shapes", len(wires), "queued_at", i)
+			// Retry-After paces well-behaved clients off the thundering
+			// herd: roughly one queue-drain's worth of head start.
+			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, "queue full, retry later")
 			return
 		}

@@ -125,6 +125,14 @@ func TestE2EQueueOverflow429(t *testing.T) {
 		_, err := c.FractureBatch(ctx, []geom.Polygon{testShape(64), testShape(66)}, "proto-eda")
 		if errors.Is(err, ErrQueueFull) {
 			sawOverflow = true
+			// the 429 carries the server's Retry-After pacing hint
+			if after, ok := RetryAfter(err); !ok || after <= 0 {
+				t.Errorf("RetryAfter(%v) = %v, %v; want a positive hint", err, after, ok)
+			}
+			var qf *QueueFullError
+			if !errors.As(err, &qf) {
+				t.Errorf("429 error is %T, want *QueueFullError", err)
+			}
 		} else if err != nil {
 			t.Fatalf("unexpected error: %v", err)
 		}

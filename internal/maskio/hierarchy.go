@@ -1,0 +1,347 @@
+// GDSII hierarchy support: cell definitions, SREF/AREF cell references
+// and a streaming walker. A full mask is not a flat polygon list — it is
+// a small dictionary of cells placed millions of times through nested
+// references, and the whole point of content-addressed fracturing is
+// that the dictionary is tiny while the placement count is astronomical.
+// The types here keep that asymmetry: a Library stores only the
+// dictionary (cells, boundaries, references); placements are never
+// materialized as a slice but streamed one at a time through Walk, and
+// counted in closed form by PlacementCount.
+package maskio
+
+import (
+	"fmt"
+	"sort"
+
+	"maskfrac/internal/geom"
+)
+
+// Orient is one of the eight axis-aligned placement orientations (the
+// dihedral group D4): rotations by multiples of 90° with an optional
+// reflection. GDSII expresses these as STRANS reflection bit (mirror
+// across the x-axis, applied first) plus an ANGLE rotation; only this
+// axis-aligned subgroup is supported because it is exactly the symmetry
+// group the shape cache canonicalizes over — every placement of a cell
+// lands in the same congruence class regardless of its Orient.
+//
+// The value encoding matches shapecache.Transform so the two can be
+// converted by value, but maskio cannot import shapecache (the
+// dependency runs the other way).
+type Orient uint8
+
+const (
+	OrientIdentity      Orient = iota // (x, y)
+	OrientRot90                       // (-y, x)
+	OrientRot180                      // (-x, -y)
+	OrientRot270                      // (y, -x)
+	OrientMirrorX                     // (-x, y): reflect across the vertical axis
+	OrientMirrorY                     // (x, -y): reflect across the horizontal axis
+	OrientTranspose                   // (y, x)
+	OrientAntiTranspose               // (-y, -x)
+	numOrients
+)
+
+// Apply maps a point through the orientation.
+func (o Orient) Apply(p geom.Point) geom.Point {
+	switch o {
+	case OrientRot90:
+		return geom.Pt(-p.Y, p.X)
+	case OrientRot180:
+		return geom.Pt(-p.X, -p.Y)
+	case OrientRot270:
+		return geom.Pt(p.Y, -p.X)
+	case OrientMirrorX:
+		return geom.Pt(-p.X, p.Y)
+	case OrientMirrorY:
+		return geom.Pt(p.X, -p.Y)
+	case OrientTranspose:
+		return geom.Pt(p.Y, p.X)
+	case OrientAntiTranspose:
+		return geom.Pt(-p.Y, -p.X)
+	default:
+		return p
+	}
+}
+
+// Mirrors reports whether the orientation reverses handedness
+// (determinant -1).
+func (o Orient) Mirrors() bool { return o >= OrientMirrorX }
+
+// orientCompose[a][b] is the orientation equal to applying b first, then
+// a (function composition a∘b), built once by probing the action on two
+// independent points.
+var orientCompose = func() (tbl [numOrients][numOrients]Orient) {
+	e1, e2 := geom.Pt(1, 0), geom.Pt(0, 2)
+	for a := Orient(0); a < numOrients; a++ {
+		for b := Orient(0); b < numOrients; b++ {
+			p, q := a.Apply(b.Apply(e1)), a.Apply(b.Apply(e2))
+			for c := Orient(0); c < numOrients; c++ {
+				if c.Apply(e1) == p && c.Apply(e2) == q {
+					tbl[a][b] = c
+					break
+				}
+			}
+		}
+	}
+	return tbl
+}()
+
+// Compose returns the orientation applying q first, then o.
+func (o Orient) Compose(q Orient) Orient { return orientCompose[o][q] }
+
+// gdsSpec returns the STRANS reflection flag and ANGLE degrees encoding
+// o in a GDSII reference: reflection across the x-axis first (MirrorY),
+// then a counterclockwise rotation.
+func (o Orient) gdsSpec() (reflect bool, angle float64) {
+	switch o {
+	case OrientRot90:
+		return false, 90
+	case OrientRot180:
+		return false, 180
+	case OrientRot270:
+		return false, 270
+	case OrientMirrorY:
+		return true, 0
+	case OrientTranspose:
+		return true, 90 // rot90 ∘ mirrorY
+	case OrientMirrorX:
+		return true, 180 // rot180 ∘ mirrorY
+	case OrientAntiTranspose:
+		return true, 270 // rot270 ∘ mirrorY
+	default:
+		return false, 0
+	}
+}
+
+// orientFromGDS maps a STRANS reflection flag and ANGLE rotation back to
+// an Orient. Only multiples of 90° are representable.
+func orientFromGDS(reflect bool, angle float64) (Orient, error) {
+	quarter := int(angle / 90)
+	if float64(quarter)*90 != angle || quarter < 0 || quarter > 3 {
+		return 0, fmt.Errorf("maskio: unsupported reference angle %g (need a multiple of 90 in [0, 270])", angle)
+	}
+	rot := [4]Orient{OrientIdentity, OrientRot90, OrientRot180, OrientRot270}[quarter]
+	if !reflect {
+		return rot, nil
+	}
+	return rot.Compose(OrientMirrorY), nil
+}
+
+// Ref is one cell reference: an SREF (Cols = Rows = 1) or an AREF
+// lattice of Cols × Rows placements. Origin and the step vectors are in
+// the containing cell's coordinate frame; the referenced cell's contents
+// are mapped through Orient and then translated, so placement (i, j)
+// puts the cell origin at Origin + i·ColStep + j·RowStep.
+type Ref struct {
+	Cell    string
+	Orient  Orient
+	Origin  geom.Point
+	Cols    int
+	Rows    int
+	ColStep geom.Point // parent-frame offset between adjacent columns
+	RowStep geom.Point // parent-frame offset between adjacent rows
+}
+
+// placements returns the number of lattice points the reference expands
+// to (1 for an SREF).
+func (r Ref) placements() int64 { return int64(r.Cols) * int64(r.Rows) }
+
+// Cell is one structure of the layout hierarchy: its own boundary
+// polygons plus references to other cells.
+type Cell struct {
+	Name       string
+	Boundaries []geom.Polygon
+	Refs       []Ref
+}
+
+// Library is a GDSII layout hierarchy: the cell dictionary, in file
+// order. Memory is proportional to the dictionary, never to the
+// (possibly astronomically larger) flattened placement count.
+type Library struct {
+	Name  string
+	Cells []*Cell
+}
+
+// Cell returns the named cell, or nil.
+func (l *Library) Cell(name string) *Cell {
+	for _, c := range l.Cells {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// TopCells returns the cells not referenced by any other cell, in file
+// order: the roots the walker starts from.
+func (l *Library) TopCells() []*Cell {
+	referenced := make(map[string]bool)
+	for _, c := range l.Cells {
+		for _, r := range c.Refs {
+			referenced[r.Cell] = true
+		}
+	}
+	var tops []*Cell
+	for _, c := range l.Cells {
+		if !referenced[c.Name] {
+			tops = append(tops, c)
+		}
+	}
+	return tops
+}
+
+// Validate checks the hierarchy: every reference resolves, array refs
+// have positive extents, and the reference graph is acyclic.
+func (l *Library) Validate() error {
+	byName := make(map[string]*Cell, len(l.Cells))
+	for _, c := range l.Cells {
+		if _, dup := byName[c.Name]; dup {
+			return fmt.Errorf("maskio: duplicate cell %q", c.Name)
+		}
+		byName[c.Name] = c
+	}
+	for _, c := range l.Cells {
+		for i, r := range c.Refs {
+			if _, ok := byName[r.Cell]; !ok {
+				return fmt.Errorf("maskio: cell %q ref %d: unknown cell %q", c.Name, i, r.Cell)
+			}
+			if r.Cols < 1 || r.Rows < 1 {
+				return fmt.Errorf("maskio: cell %q ref %d: %dx%d array", c.Name, i, r.Cols, r.Rows)
+			}
+		}
+	}
+	// DFS cycle check over the reference DAG
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(l.Cells))
+	var visit func(name string) error
+	visit = func(name string) error {
+		switch color[name] {
+		case gray:
+			return fmt.Errorf("maskio: cyclic cell reference through %q", name)
+		case black:
+			return nil
+		}
+		color[name] = gray
+		for _, r := range byName[name].Refs {
+			if err := visit(r.Cell); err != nil {
+				return err
+			}
+		}
+		color[name] = black
+		return nil
+	}
+	names := make([]string, 0, len(l.Cells))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if err := visit(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Placement is one streamed shape instance: boundary Shape of cell Cell,
+// placed into the world frame by Orient followed by a translation.
+// Polygon is the world-frame polygon, freshly allocated per placement —
+// callers may retain it.
+type Placement struct {
+	// Seq is the placement's position in the deterministic walk order,
+	// starting at 0.
+	Seq int64
+	// Cell and Shape identify the dictionary entry: boundary index Shape
+	// of the named cell. All placements sharing (Cell, Shape) are
+	// congruent.
+	Cell  string
+	Shape int
+	// Orient is the composed world orientation of the placement.
+	Orient Orient
+	// Origin is the world-frame image of the cell origin.
+	Origin geom.Point
+	// Polygon is the boundary mapped to the world frame.
+	Polygon geom.Polygon
+}
+
+// PlacementCount returns the number of placements Walk would emit,
+// computed in closed form over the hierarchy DAG — O(cells + refs) time
+// regardless of array extents, which is what makes it usable on
+// full-mask layouts whose flattened size does not fit in memory.
+func (l *Library) PlacementCount() (int64, error) {
+	if err := l.Validate(); err != nil {
+		return 0, err
+	}
+	memo := make(map[string]int64, len(l.Cells))
+	var count func(c *Cell) int64
+	count = func(c *Cell) int64 {
+		if n, ok := memo[c.Name]; ok {
+			return n
+		}
+		n := int64(len(c.Boundaries))
+		for _, r := range c.Refs {
+			n += r.placements() * count(l.Cell(r.Cell))
+		}
+		memo[c.Name] = n
+		return n
+	}
+	var total int64
+	for _, top := range l.TopCells() {
+		total += count(top)
+	}
+	return total, nil
+}
+
+// Walk streams every shape placement of the hierarchy, in a
+// deterministic order (top cells in file order; within a cell,
+// boundaries first, then references in file order; array elements
+// row-major), calling fn once per placement. Memory is O(hierarchy
+// depth): placements are emitted as they are derived, never collected.
+// If fn returns an error the walk stops and returns it, so callers can
+// terminate early.
+func (l *Library) Walk(fn func(Placement) error) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	seq := int64(0)
+	var walk func(c *Cell, o Orient, off geom.Point) error
+	walk = func(c *Cell, o Orient, off geom.Point) error {
+		for si, b := range c.Boundaries {
+			world := make(geom.Polygon, len(b))
+			for i, p := range b {
+				world[i] = o.Apply(p).Add(off)
+			}
+			pl := Placement{Seq: seq, Cell: c.Name, Shape: si, Orient: o, Origin: off, Polygon: world}
+			seq++
+			if err := fn(pl); err != nil {
+				return err
+			}
+		}
+		for _, r := range c.Refs {
+			child := l.Cell(r.Cell)
+			co := o.Compose(r.Orient)
+			for j := 0; j < r.Rows; j++ {
+				for i := 0; i < r.Cols; i++ {
+					elem := geom.Pt(
+						r.Origin.X+float64(i)*r.ColStep.X+float64(j)*r.RowStep.X,
+						r.Origin.Y+float64(i)*r.ColStep.Y+float64(j)*r.RowStep.Y,
+					)
+					if err := walk(child, co, o.Apply(elem).Add(off)); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	}
+	for _, top := range l.TopCells() {
+		if err := walk(top, OrientIdentity, geom.Pt(0, 0)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package shapecache
+
+import (
+	"bufio"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"maskfrac/internal/geom"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the canonical-key golden file")
+
+// goldenShapes is a fixed shape set whose canonical sha256 keys are
+// pinned in testdata/canonical_keys.golden. These keys are a wire-level
+// contract, not an implementation detail: the cluster router
+// (internal/cluster) consistent-hashes them to pick the owning node of
+// each congruence class, so if canonicalization ever changes — a vertex
+// ordering tweak, a transform reordering, a serialization change —
+// every key moves, every node's cache turns cold, and congruence
+// classes silently get re-solved on new owners. Any diff here must be a
+// deliberate, flag-day decision.
+func goldenShapes() map[string]geom.Polygon {
+	rect := geom.Polygon{geom.Pt(0, 0), geom.Pt(70, 0), geom.Pt(70, 30), geom.Pt(0, 30)}
+	lsh := geom.Polygon{
+		geom.Pt(0, 0), geom.Pt(90, 0), geom.Pt(90, 30),
+		geom.Pt(30, 30), geom.Pt(30, 120), geom.Pt(0, 120),
+	}
+	tsh := geom.Polygon{
+		geom.Pt(0, 0), geom.Pt(110, 0), geom.Pt(110, 30), geom.Pt(70, 30),
+		geom.Pt(70, 100), geom.Pt(40, 100), geom.Pt(40, 30), geom.Pt(0, 30),
+	}
+	stair := geom.Polygon{
+		geom.Pt(0, 0), geom.Pt(40, 0), geom.Pt(40, 20), geom.Pt(80, 20),
+		geom.Pt(80, 40), geom.Pt(120, 40), geom.Pt(120, 60), geom.Pt(0, 60),
+	}
+	cross := geom.Polygon{
+		geom.Pt(30, 0), geom.Pt(60, 0), geom.Pt(60, 30), geom.Pt(90, 30),
+		geom.Pt(90, 60), geom.Pt(60, 60), geom.Pt(60, 90), geom.Pt(30, 90),
+		geom.Pt(30, 60), geom.Pt(0, 60), geom.Pt(0, 30), geom.Pt(30, 30),
+	}
+	nonManhattan := geom.Polygon{
+		geom.Pt(0, 0), geom.Pt(50, 0), geom.Pt(65, 25), geom.Pt(25, 60),
+	}
+	return map[string]geom.Polygon{
+		"rect-70x30":    rect,
+		"L":             lsh,
+		"T":             tsh,
+		"stair":         stair,
+		"cross":         cross,
+		"non-manhattan": nonManhattan,
+	}
+}
+
+func goldenPath() string {
+	return filepath.Join("testdata", "canonical_keys.golden")
+}
+
+func keyHex(pg geom.Polygon) string {
+	k := Canonicalize(pg).KeyWith(nil)
+	return hex.EncodeToString(k[:])
+}
+
+// TestCanonicalKeysGolden pins the canonical sha256 key of every golden
+// shape. Regenerate with `go test ./internal/shapecache -run Golden
+// -update` — and understand that doing so invalidates every deployed
+// cache and reshuffles cluster routing.
+func TestCanonicalKeysGolden(t *testing.T) {
+	shapes := goldenShapes()
+	got := make(map[string]string, len(shapes))
+	names := make([]string, 0, len(shapes))
+	for name, pg := range shapes {
+		got[name] = keyHex(pg)
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	if *updateGolden {
+		var sb strings.Builder
+		sb.WriteString("# canonical sha256 keys of the golden shape set (KeyWith(nil)).\n")
+		sb.WriteString("# regenerating this file is a cache+routing flag day; see golden_test.go.\n")
+		for _, name := range names {
+			fmt.Fprintf(&sb, "%s %s\n", name, got[name])
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath(), []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath())
+		return
+	}
+
+	f, err := os.Open(goldenPath())
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update to create): %v", err)
+	}
+	defer f.Close()
+	want := make(map[string]string)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("bad golden line %q", line)
+		}
+		want[fields[0]] = fields[1]
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Errorf("golden file has %d keys, test set has %d", len(want), len(got))
+	}
+	for _, name := range names {
+		w, ok := want[name]
+		if !ok {
+			t.Errorf("%s: missing from golden file (run -update after auditing)", name)
+			continue
+		}
+		if got[name] != w {
+			t.Errorf("%s: canonical key changed\n  golden: %s\n  got:    %s\n"+
+				"canonicalization is a routing contract — see golden_test.go before updating",
+				name, w, got[name])
+		}
+	}
+}
+
+// TestCanonicalKeysCongruenceInvariance verifies the other half of the
+// contract: every D4 symmetry and translation of a golden shape hashes
+// to the identical key, which is what lets the cluster route all
+// placements of a congruence class to one node.
+func TestCanonicalKeysCongruenceInvariance(t *testing.T) {
+	for name, pg := range goldenShapes() {
+		base := keyHex(pg)
+		for tr := Identity; tr < numTransforms; tr++ {
+			moved := make(geom.Polygon, len(pg))
+			for i, p := range pg {
+				moved[i] = tr.Apply(p).Add(geom.Pt(1337, -4096))
+			}
+			if got := keyHex(moved); got != base {
+				t.Errorf("%s under transform %d: key %s != base %s", name, tr, got, base)
+			}
+		}
+	}
+}

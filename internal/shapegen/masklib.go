@@ -1,0 +1,58 @@
+package shapegen
+
+import (
+	"maskfrac/internal/geom"
+	"maskfrac/internal/maskio"
+)
+
+// DemoLibrary builds a synthetic full-mask GDSII hierarchy from the ILT
+// clip suite: every clip becomes a cell, a tile cell instantiates each
+// clip under a rotating D4 orientation, and the top cell arrays the
+// tile cols × rows. The layout has cols·rows·10 placements but only ten
+// congruence classes — the repetition profile the shapecache and the
+// cluster router are built to exploit.
+func DemoLibrary(cols, rows int) *maskio.Library {
+	clips := ILTSuite()
+	lib := &maskio.Library{Name: "fullmask-demo"}
+
+	// each clip translated to the origin so cell frames are tight
+	pitch := 0.0
+	for _, c := range clips {
+		bb := c.Target.Bounds()
+		if w := bb.W(); w > pitch {
+			pitch = w
+		}
+		if h := bb.H(); h > pitch {
+			pitch = h
+		}
+	}
+	pitch += 80 // clip-to-clip margin, nm
+
+	orients := []maskio.Orient{
+		maskio.OrientIdentity, maskio.OrientRot90, maskio.OrientRot180,
+		maskio.OrientRot270, maskio.OrientMirrorX, maskio.OrientMirrorY,
+		maskio.OrientTranspose, maskio.OrientAntiTranspose,
+	}
+	tile := &maskio.Cell{Name: "tile"}
+	for i, c := range clips {
+		bb := c.Target.Bounds()
+		cell := &maskio.Cell{
+			Name:       c.Name,
+			Boundaries: []geom.Polygon{c.Target.Translate(geom.Pt(-bb.X0, -bb.Y0))},
+		}
+		lib.Cells = append(lib.Cells, cell)
+		tile.Refs = append(tile.Refs, maskio.Ref{
+			Cell: c.Name, Cols: 1, Rows: 1,
+			Orient: orients[i%len(orients)],
+			Origin: geom.Pt(float64(i%5)*pitch, float64(i/5)*pitch),
+		})
+	}
+	lib.Cells = append(lib.Cells, tile)
+
+	tileW, tileH := 5*pitch, 2*pitch
+	lib.Cells = append(lib.Cells, &maskio.Cell{Name: "top", Refs: []maskio.Ref{{
+		Cell: "tile", Cols: cols, Rows: rows,
+		ColStep: geom.Pt(tileW, 0), RowStep: geom.Pt(0, tileH),
+	}}})
+	return lib
+}

@@ -101,6 +101,14 @@ func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
 	return v
 }
 
+// GaugeVec registers a gauge family partitioned by labels.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	v := &GaugeVec{d: desc{name, help, "gauge"}, labels: labels,
+		children: make(map[string]*Gauge)}
+	r.register(v)
+	return v
+}
+
 // HistogramVec registers a histogram family partitioned by labels.
 func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
 	v := &HistogramVec{d: desc{name, help, "histogram"}, labels: labels,
@@ -183,6 +191,7 @@ func (c *Counter) samples(buf []byte) []byte {
 // Gauge is a value that can go up and down.
 type Gauge struct {
 	d    desc
+	lbl  string // rendered {k="v",...} suffix, "" when unlabeled
 	bits atomic.Uint64
 }
 
@@ -212,7 +221,7 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 func (g *Gauge) desc() desc { return g.d }
 
 func (g *Gauge) samples(buf []byte) []byte {
-	return sampleLine(buf, g.d.name, "", g.Value())
+	return sampleLine(buf, g.d.name, g.lbl, g.Value())
 }
 
 // funcMetric samples a callback at scrape time.
@@ -365,6 +374,60 @@ func (v *CounterVec) samples(buf []byte) []byte {
 	sort.Slice(children, func(a, b int) bool { return children[a].lbl < children[b].lbl })
 	for _, c := range children {
 		buf = c.samples(buf)
+	}
+	return buf
+}
+
+// GaugeVec is a family of gauges keyed by label values.
+type GaugeVec struct {
+	d        desc
+	labels   []string
+	mu       sync.Mutex
+	children map[string]*Gauge
+	order    []string
+}
+
+// With returns the child gauge for the given label values (one per
+// label name, in declaration order), creating it on first use.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	key := joinValues(values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g, ok := v.children[key]; ok {
+		return g
+	}
+	g := &Gauge{d: v.d, lbl: renderLabels(v.labels, values)}
+	v.children[key] = g
+	v.order = append(v.order, key)
+	return g
+}
+
+// Each calls fn for every child with its label values.
+func (v *GaugeVec) Each(fn func(values []string, g *Gauge)) {
+	v.mu.Lock()
+	keys := append([]string(nil), v.order...)
+	children := make([]*Gauge, len(keys))
+	for i, k := range keys {
+		children[i] = v.children[k]
+	}
+	v.mu.Unlock()
+	for i, k := range keys {
+		fn(splitValues(k), children[i])
+	}
+}
+
+func (v *GaugeVec) desc() desc { return v.d }
+
+func (v *GaugeVec) samples(buf []byte) []byte {
+	v.mu.Lock()
+	children := make([]*Gauge, 0, len(v.order))
+	for _, k := range v.order {
+		children = append(children, v.children[k])
+	}
+	v.mu.Unlock()
+	sort.Slice(children, func(a, b int) bool { return children[a].lbl < children[b].lbl })
+	for _, g := range children {
+		buf = g.samples(buf)
 	}
 	return buf
 }

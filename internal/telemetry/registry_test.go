@@ -170,3 +170,29 @@ func TestCounterVecEach(t *testing.T) {
 		t.Errorf("Each saw %v", seen)
 	}
 }
+
+func TestGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("node_inflight", "in-flight by node", "node")
+	v.With("n0").Set(3)
+	v.With("n1").Inc()
+	v.With("n1").Inc()
+	v.With("n1").Dec()
+	if got := v.With("n0").Value(); got != 3 {
+		t.Errorf("n0 = %g", got)
+	}
+	seen := map[string]float64{}
+	v.Each(func(values []string, g *Gauge) { seen[values[0]] = g.Value() })
+	if seen["n0"] != 3 || seen["n1"] != 1 {
+		t.Errorf("Each saw %v", seen)
+	}
+	out := string(r.WritePrometheus(nil))
+	want := `# HELP node_inflight in-flight by node
+# TYPE node_inflight gauge
+node_inflight{node="n0"} 3
+node_inflight{node="n1"} 1
+`
+	if out != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", out, want)
+	}
+}

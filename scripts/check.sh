@@ -30,6 +30,14 @@ go test -shuffle=on ./...
 echo "== go test -race fracserve e2e =="
 go test -race -run 'TestE2E' ./internal/fracserve
 
+# the cluster e2e smoke spawns 3 in-process fracd servers, routes a
+# small hierarchical mask through the consistent-hash ring, and asserts
+# the single-solve-per-congruence-class invariant (sum of cache misses
+# across nodes == distinct canonical keys via /stats), plus node-kill
+# failover with zero lost placements — all under the race detector
+echo "== go test -race cluster e2e (3-node smoke) =="
+go test -race -run 'TestClusterE2E' ./internal/cluster
+
 # -short skips the multi-minute fracturing integration suites, which are
 # too slow under the race detector; the concurrency-heavy tests
 # (shapecache, fracserve, batch, cache, telemetry) all still run.
