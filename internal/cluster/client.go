@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"strings"
 	"sync"
 	"time"
 
@@ -240,28 +239,39 @@ func (c *Client) NodeStats(ctx context.Context, id string) (*fracserve.StatsRepl
 // (singleflight); the key also picks the owning node, so across every
 // client and node the class runs the solver once.
 func (c *Client) SolveClass(ctx context.Context, key shapecache.Key, poly geom.Polygon) (*ClassResult, error) {
-	c.mu.Lock()
-	if fl, ok := c.flights[key]; ok {
-		c.mu.Unlock()
-		c.dedups.Inc()
-		select {
-		case <-fl.done:
-			return fl.res, fl.err
-		case <-ctx.Done():
-			return nil, ctx.Err()
+	for {
+		c.mu.Lock()
+		if fl, ok := c.flights[key]; ok {
+			c.mu.Unlock()
+			c.dedups.Inc()
+			select {
+			case <-fl.done:
+				// A leader that was cancelled reports its own context
+				// error; a joiner whose context is still live must not
+				// inherit it — re-run the solve instead (the flight has
+				// already been removed from the map, so the next lap
+				// either becomes the new leader or joins one).
+				if fl.err != nil && ctx.Err() == nil &&
+					(errors.Is(fl.err, context.Canceled) || errors.Is(fl.err, context.DeadlineExceeded)) {
+					continue
+				}
+				return fl.res, fl.err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
 		}
-	}
-	fl := &flight{done: make(chan struct{})}
-	c.flights[key] = fl
-	c.mu.Unlock()
+		fl := &flight{done: make(chan struct{})}
+		c.flights[key] = fl
+		c.mu.Unlock()
 
-	res, err := c.solveRouted(ctx, key, poly)
-	fl.res, fl.err = res, err
-	c.mu.Lock()
-	delete(c.flights, key)
-	c.mu.Unlock()
-	close(fl.done)
-	return res, err
+		res, err := c.solveRouted(ctx, key, poly)
+		fl.res, fl.err = res, err
+		c.mu.Lock()
+		delete(c.flights, key)
+		c.mu.Unlock()
+		close(fl.done)
+		return res, err
+	}
 }
 
 // solveRouted runs the routing state machine for one class: primary
@@ -313,11 +323,16 @@ func (c *Client) solveRouted(ctx context.Context, key shapecache.Key, poly geom.
 		case out := <-results:
 			launched--
 			if out.err == nil {
-				res := classResult(key, out)
-				res.Latency = time.Since(start)
-				c.latency.Observe(res.Latency.Seconds())
-				span.Set("cache_hit", res.CacheHit)
-				return res, nil
+				res, cerr := classResult(key, out.item, out.node)
+				if cerr == nil {
+					res.Latency = time.Since(start)
+					c.latency.Observe(res.Latency.Seconds())
+					span.Set("cache_hit", res.CacheHit)
+					return res, nil
+				}
+				// a reply we cannot decode is a node failure: fall
+				// through to the failover path below
+				out.err = fmt.Errorf("cluster: node %s: %w", out.node, cerr)
 			}
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
@@ -343,29 +358,29 @@ func (c *Client) solveRouted(ctx context.Context, key shapecache.Key, poly geom.
 	return nil, fmt.Errorf("cluster: class solve failed on %v: %w", cands, lastErr)
 }
 
-// classResult converts an accepted node reply.
-func classResult(key shapecache.Key, out struct {
-	item *fracserve.ItemResult
-	node string
-	err  error
-}) *ClassResult {
+// classResult converts an accepted node reply. A shot payload that
+// fails to decode is an error, not a silent nil — with Config.WantShots
+// set, callers rely on Shots being present.
+func classResult(key shapecache.Key, item *fracserve.ItemResult, nodeID string) (*ClassResult, error) {
 	res := &ClassResult{
 		Key:       key,
-		ShotCount: out.item.ShotCount,
-		FailOn:    out.item.FailOn,
-		FailOff:   out.item.FailOff,
-		Cost:      out.item.Cost,
-		Feasible:  out.item.Feasible,
-		CacheHit:  out.item.CacheHit,
-		Node:      out.node,
-		SolveMS:   out.item.SolveMS,
+		ShotCount: item.ShotCount,
+		FailOn:    item.FailOn,
+		FailOff:   item.FailOff,
+		Cost:      item.Cost,
+		Feasible:  item.Feasible,
+		CacheHit:  item.CacheHit,
+		Node:      nodeID,
+		SolveMS:   item.SolveMS,
 	}
-	if out.item.Shots != nil {
-		if shots, err := out.item.ShotRects(); err == nil {
-			res.Shots = shots
+	if item.Shots != nil {
+		shots, err := item.ShotRects()
+		if err != nil {
+			return nil, fmt.Errorf("decode shots: %w", err)
 		}
+		res.Shots = shots
 	}
-	return res
+	return res, nil
 }
 
 // tryNode attempts one node with bounded in-flight work and
@@ -447,8 +462,9 @@ func (c *Client) fracture(ctx context.Context, n *node, poly geom.Polygon) (*fra
 
 // retryable classifies node failures. Queue overflow (429), server
 // deadline (504), timeouts and transport errors can succeed on retry or
-// another node; anything else (4xx validation errors) will fail
-// identically everywhere and is terminal.
+// another node; other status replies (4xx validation errors, unknown
+// methods) and undecodable bodies will fail identically everywhere and
+// are terminal.
 func retryable(err error) bool {
 	if errors.Is(err, fracserve.ErrQueueFull) || errors.Is(err, fracserve.ErrDeadline) {
 		return true
@@ -456,12 +472,14 @@ func retryable(err error) bool {
 	if errors.Is(err, context.DeadlineExceeded) {
 		return true
 	}
-	// fracserve surfaces non-2xx replies as "fracserve: HTTP <code>";
-	// every other error here is a transport-level failure (connection
-	// refused/reset, EOF) and worth retrying
-	msg := err.Error()
-	if strings.HasPrefix(msg, "fracserve: HTTP ") {
+	var se *fracserve.StatusError
+	if errors.As(err, &se) {
 		return false
 	}
+	if errors.Is(err, fracserve.ErrProtocol) {
+		return false
+	}
+	// everything else is a transport-level failure (connection
+	// refused/reset, EOF) and worth retrying
 	return true
 }

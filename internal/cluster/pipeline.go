@@ -175,6 +175,10 @@ func RunPipeline(ctx context.Context, c *Client, lib *maskio.Library, cfg Pipeli
 			select {
 			case jobs <- j:
 			case <-ctx.Done():
+				// the future is already queued in order but no worker
+				// will ever see the job; close it so the consumer's
+				// drain does not block forever
+				close(j.fut)
 				return ctx.Err()
 			}
 			return nil
@@ -219,9 +223,11 @@ func RunPipeline(ctx context.Context, c *Client, lib *maskio.Library, cfg Pipeli
 	// consumer: drain futures in walk order and aggregate.
 	mr := &MaskResult{}
 	seen := make(map[shapecache.Key]struct{})
+	aborted := false
 	for fut := range order {
 		pr, ok := <-fut
 		if !ok {
+			aborted = true
 			continue // failure recorded via fail(); keep draining
 		}
 		mr.Placements++
@@ -237,9 +243,13 @@ func RunPipeline(ctx context.Context, c *Client, lib *maskio.Library, cfg Pipeli
 				mr.NodeCacheHits++
 			}
 		}
-		if cfg.OnResult != nil {
+		// honor the documented abort contract: once a failure is
+		// recorded, later placements still drain (to release workers)
+		// but are no longer observed.
+		if cfg.OnResult != nil && !aborted {
 			if err := cfg.OnResult(pr); err != nil {
 				fail(err)
+				aborted = true
 			}
 		}
 	}

@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"maskfrac/internal/fracserve"
+	"maskfrac/internal/geom"
+	"maskfrac/internal/shapecache"
+)
+
+// TestPipelineAbortReturns: an OnResult error must abort the run — the
+// pipeline returns that error instead of deadlocking on a future the
+// producer enqueued but never handed to a worker, and OnResult is not
+// invoked again after the abort.
+func TestPipelineAbortReturns(t *testing.T) {
+	c, _ := startCluster(t, 2, Config{Method: "partition"})
+	lib := e2eLib()
+
+	sentinel := errors.New("observer bailed")
+	var after atomic.Int64
+	failed := false
+	type outcome struct {
+		mr  *MaskResult
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		mr, err := RunPipeline(context.Background(), c, lib, PipelineConfig{
+			Workers: 2,
+			Window:  2, // keep the producer blocked mid-walk when the abort lands
+			OnResult: func(pr *PlacementResult) error {
+				if failed {
+					after.Add(1)
+					return nil
+				}
+				failed = true
+				return sentinel
+			},
+		})
+		done <- outcome{mr, err}
+	}()
+
+	select {
+	case out := <-done:
+		if !errors.Is(out.err, sentinel) {
+			t.Fatalf("err = %v, want the OnResult sentinel", out.err)
+		}
+		if out.mr != nil {
+			t.Errorf("aborted run returned a result: %+v", out.mr)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("pipeline deadlocked after OnResult error")
+	}
+	if n := after.Load(); n != 0 {
+		t.Errorf("OnResult invoked %d times after returning an error", n)
+	}
+}
+
+// TestPipelineWorkerFailureReturns: a terminal routing failure (empty
+// ring) cancels the run; the producer must not strand futures in the
+// reorder window.
+func TestPipelineWorkerFailureReturns(t *testing.T) {
+	c := NewClient(Config{Method: "partition"}) // no nodes
+	lib := e2eLib()
+
+	type outcome struct {
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		_, err := RunPipeline(context.Background(), c, lib, PipelineConfig{Workers: 2, Window: 2})
+		done <- outcome{err}
+	}()
+	select {
+	case out := <-done:
+		if !errors.Is(out.err, ErrNoNodes) {
+			t.Fatalf("err = %v, want ErrNoNodes", out.err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("pipeline deadlocked after worker failure")
+	}
+}
+
+// TestSingleflightLeaderCancelNotInherited: a joiner whose context is
+// still live must not adopt the leader's context cancellation — it
+// re-runs the solve and succeeds.
+func TestSingleflightLeaderCancelNotInherited(t *testing.T) {
+	c, nodes := startCluster(t, 1, Config{})
+	nodes[0].delay.Store(int64(150 * time.Millisecond))
+
+	poly := geom.Polygon{geom.Pt(0, 0), geom.Pt(75, 0), geom.Pt(75, 42), geom.Pt(0, 42)}
+	can := shapecache.Canonicalize(poly)
+	key := can.KeyWith([]byte("proto-eda"))
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := c.SolveClass(leaderCtx, key, can.Poly)
+		leaderErr <- err
+	}()
+	time.Sleep(30 * time.Millisecond) // leader is in flight
+
+	joinerDone := make(chan error, 1)
+	go func() {
+		_, err := c.SolveClass(context.Background(), key, can.Poly)
+		joinerDone <- err
+	}()
+	time.Sleep(30 * time.Millisecond) // joiner has joined the flight
+	cancelLeader()
+
+	if err := <-leaderErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader err = %v, want context.Canceled", err)
+	}
+	select {
+	case err := <-joinerDone:
+		if err != nil {
+			t.Fatalf("joiner inherited the leader's failure: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("joiner never completed")
+	}
+}
+
+// TestShotDecodeErrorPropagates: with WantShots set, a node replying
+// with an undecodable shot payload is a failure, not a silent success
+// with nil Shots.
+func TestShotDecodeErrorPropagates(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/fracture" {
+			// X1 < X0: an invalid rectangle ShotsFromWire rejects
+			json.NewEncoder(w).Encode(fracserve.Response{Results: []fracserve.ItemResult{
+				{Shots: [][4]float64{{10, 10, 0, 0}}, ShotCount: 1, Feasible: true},
+			}})
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer ts.Close()
+
+	c := NewClient(Config{Method: "proto-eda", WantShots: true})
+	c.AddNode("bad", ts.URL)
+
+	poly := geom.Polygon{geom.Pt(0, 0), geom.Pt(66, 0), geom.Pt(66, 33), geom.Pt(0, 33)}
+	can := shapecache.Canonicalize(poly)
+	res, err := c.SolveClass(context.Background(), can.KeyWith([]byte("proto-eda")), can.Poly)
+	if err == nil {
+		t.Fatalf("malformed shot payload accepted: %+v", res)
+	}
+	if !strings.Contains(err.Error(), "decode shots") {
+		t.Errorf("err = %v, want a decode-shots failure", err)
+	}
+}
+
+// TestRetryableClassification pins the typed-error contract: 429/504
+// and transport failures retry; other status replies and protocol
+// errors are terminal.
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"queue full", &fracserve.QueueFullError{Msg: "full"}, true},
+		{"deadline", fmt.Errorf("%w: slow", fracserve.ErrDeadline), true},
+		{"request timeout", context.DeadlineExceeded, true},
+		{"transport", errors.New("connection refused"), true},
+		{"bad request", &fracserve.StatusError{Code: 400, Msg: "bad polygon"}, false},
+		{"server error status", &fracserve.StatusError{Code: 500, Msg: "boom"}, false},
+		{"wrapped status", fmt.Errorf("attempt 1: %w", &fracserve.StatusError{Code: 404, Msg: "gone"}), false},
+		{"protocol", fmt.Errorf("%w: decode response: bad json", fracserve.ErrProtocol), false},
+	}
+	for _, tc := range cases {
+		if got := retryable(tc.err); got != tc.want {
+			t.Errorf("%s: retryable(%v) = %v, want %v", tc.name, tc.err, got, tc.want)
+		}
+	}
+}

@@ -54,6 +54,25 @@ func RetryAfter(err error) (time.Duration, bool) {
 // deadline (HTTP 504).
 var ErrDeadline = errors.New("fracserve: server deadline exceeded")
 
+// ErrProtocol wraps replies the client could not interpret — a 2xx body
+// that fails to decode. Such failures are deterministic for a given
+// server build, so callers should not retry or fail them over.
+var ErrProtocol = errors.New("fracserve: protocol error")
+
+// StatusError is a non-2xx reply with no dedicated sentinel (anything
+// other than 429 and 504): validation failures, unknown methods, and
+// the like. errors.As lets callers classify it without string matching.
+type StatusError struct {
+	// Code is the HTTP status code.
+	Code int
+	// Msg is the server's error message.
+	Msg string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("fracserve: HTTP %d: %s", e.Code, e.Msg)
+}
+
 // Client talks to a fracturing daemon.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://localhost:8337".
@@ -95,7 +114,7 @@ func (c *Client) Do(ctx context.Context, req *Request) (*Response, error) {
 	}
 	var out Response
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, fmt.Errorf("fracserve: decode response: %w", err)
+		return nil, fmt.Errorf("%w: decode response: %v", ErrProtocol, err)
 	}
 	return &out, nil
 }
@@ -155,7 +174,7 @@ func (c *Client) Solve(ctx context.Context, req *SolveRequest) (*SolveResponse, 
 	}
 	var out SolveResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, fmt.Errorf("fracserve: decode response: %w", err)
+		return nil, fmt.Errorf("%w: decode response: %v", ErrProtocol, err)
 	}
 	return &out, nil
 }
@@ -191,7 +210,7 @@ func (c *Client) Stats(ctx context.Context) (*StatsReply, error) {
 	}
 	var out StatsReply
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, fmt.Errorf("fracserve: decode stats: %w", err)
+		return nil, fmt.Errorf("%w: decode stats: %v", ErrProtocol, err)
 	}
 	return &out, nil
 }
@@ -230,7 +249,7 @@ func statusError(resp *http.Response) error {
 	case http.StatusGatewayTimeout:
 		return fmt.Errorf("%w: %s", ErrDeadline, msg)
 	}
-	return fmt.Errorf("fracserve: HTTP %d: %s", resp.StatusCode, msg)
+	return &StatusError{Code: resp.StatusCode, Msg: msg}
 }
 
 // parseRetryAfter parses a Retry-After header: delay-seconds or an HTTP
