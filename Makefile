@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test race bench check
+.PHONY: all build fmt vet test race bench soak check
 
 all: build
 
@@ -35,6 +35,16 @@ BENCH ?= BenchmarkShapeCache|BenchmarkBatchCache|BenchmarkEngineRegions|Benchmar
 BENCHTIME ?= 1x
 bench:
 	sh scripts/benchstat.sh '$(BENCH)' '$(BENCHTIME)'
+
+# soak holds an in-process cluster at a steady QPS and records the
+# rolling time series + SLO verdict to BENCH_<date>-soak.json
+SOAK_NODES ?= 3
+SOAK_QPS ?= 150
+SOAK_DURATION ?= 60s
+soak:
+	$(GO) run ./cmd/loadgen -soak -nodes $(SOAK_NODES) -qps $(SOAK_QPS) \
+		-duration $(SOAK_DURATION) -method proto-eda \
+		-json BENCH_$$(date +%F)-soak.json
 
 check: fmt vet test race
 	@echo "check ok"

@@ -8,10 +8,14 @@
 //	fracd [-addr :8337] [-workers N] [-queue 256] [-cache-entries 4096]
 //	      [-timeout 60s] [-max-timeout 10m] [-max-shapes 4096]
 //	      [-sigma 6.25] [-gamma 2] [-lmin 8]
+//	      [-peers url,name=url,...]
 //	      [-log-level info] [-pprof]
 //
 // Endpoints: POST /fracture, GET /healthz, GET /stats, GET /metrics
-// (Prometheus text format) and, with -pprof, GET /debug/pprof/.
+// (Prometheus text format), GET /debug/traces (retained request
+// traces), with -peers GET /clusterz (control-plane view aggregating
+// every peer's stats, quantiles and ring ownership; ?format=text for a
+// terminal table) and, with -pprof, GET /debug/pprof/.
 // Structured JSON logs go to stderr; every request is logged with its
 // X-Request-ID. SIGINT/SIGTERM shut the daemon down gracefully,
 // draining in-flight requests and logging drained/rejected counts.
@@ -24,10 +28,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"maskfrac"
+	"maskfrac/internal/cluster"
 	"maskfrac/internal/fracserve"
 	"maskfrac/internal/telemetry"
 )
@@ -47,6 +53,7 @@ func main() {
 		lmin        = flag.Float64("lmin", 8, "default minimum shot size in nm")
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		enablePprof = flag.Bool("pprof", false, "serve net/http/pprof on /debug/pprof/")
+		peers       = flag.String("peers", "", "comma-separated peer fracd base URLs (or name=url) aggregated at GET /clusterz")
 	)
 	flag.Parse()
 
@@ -69,6 +76,32 @@ func main() {
 		Logger:         logger,
 		EnablePprof:    *enablePprof,
 	})
+
+	if *peers != "" {
+		// The cluster client gets its own private metrics registry
+		// (Config.Metrics nil) — it must not collide with the server's
+		// instrument names.
+		cl := cluster.NewClient(cluster.Config{
+			Logger: logger.With("component", "clusterz"),
+		})
+		added := 0
+		for _, p := range strings.Split(*peers, ",") {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				continue
+			}
+			id, url := p, p
+			if n, u, ok := strings.Cut(p, "="); ok && !strings.Contains(n, ":") {
+				id, url = n, u
+			} else {
+				id = strings.TrimPrefix(strings.TrimPrefix(id, "https://"), "http://")
+			}
+			cl.AddNode(id, url)
+			added++
+		}
+		srv.Handle("/clusterz", cluster.StatusHandler(cl))
+		logger.Info("clusterz view enabled", "peers", added)
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -7,6 +7,14 @@
 //	         [-workers N] [-v] [-trace]
 //	fracture -multi -in shapes.msk [-workers N]
 //	fracture -batch -in shapes.msk [-workers N] [-cache 4096]
+//	fracture -server http://host:8337 [-multi] [-trace] ...
+//
+// -server sends the instance to a running fracd instead of solving
+// in-process; with -trace the caller's trace ID propagates to the
+// daemon as a traceparent header, the daemon returns its span tree in
+// the response, and the printed waterfall shows the local request span
+// with the remote solver phases stitched underneath. The same trace is
+// retained on the daemon under GET /debug/traces/{id}.
 //
 // Without -in it fractures the first built-in ILT benchmark clip (or,
 // with -batch, the whole built-in suite; with -multi, a built-in SRAF
@@ -53,6 +61,7 @@ func main() {
 		cacheN  = flag.Int("cache", 4096, "batch shape cache entry bound (0 disables)")
 		verbose = flag.Bool("v", false, "print problem detail (pixel counts, bounds, eval time)")
 		trace   = flag.Bool("trace", false, "record solver phase spans; print the span tree and per-phase timings")
+		server  = flag.String("server", "", "fracture on a running fracd at this base URL instead of in-process")
 	)
 	flag.Parse()
 
@@ -62,6 +71,9 @@ func main() {
 	params.Lmin = *lmin
 
 	if *batch {
+		if *server != "" {
+			fatal(fmt.Errorf("-batch does not combine with -server; use loadgen for remote batches"))
+		}
 		if err := runBatch(*in, params, maskfrac.Method(*method), *workers, *cacheN); err != nil {
 			fatal(err)
 		}
@@ -71,15 +83,10 @@ func main() {
 	var (
 		targets []maskfrac.Polygon
 		name    string
-		prob    *maskfrac.Problem
 	)
 	if *multi {
 		var err error
 		targets, name, err = loadMulti(*in)
-		if err != nil {
-			fatal(err)
-		}
-		prob, err = maskfrac.NewMultiProblem(targets, params)
 		if err != nil {
 			fatal(err)
 		}
@@ -89,7 +96,24 @@ func main() {
 			fatal(err)
 		}
 		targets, name = []maskfrac.Polygon{target}, n
-		prob, err = maskfrac.NewProblem(target, params)
+	}
+
+	if *server != "" {
+		if err := runRemote(*server, targets, name, maskfrac.Method(*method),
+			*multi, params, *workers, *out, *svgOut, *verbose, *trace); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	var prob *maskfrac.Problem
+	{
+		var err error
+		if *multi {
+			prob, err = maskfrac.NewMultiProblem(targets, params)
+		} else {
+			prob, err = maskfrac.NewProblem(targets[0], params)
+		}
 		if err != nil {
 			fatal(err)
 		}

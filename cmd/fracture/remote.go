@@ -1,0 +1,150 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"maskfrac"
+	"maskfrac/internal/fracserve"
+	"maskfrac/internal/maskio"
+	"maskfrac/internal/telemetry"
+)
+
+// runRemote fractures against a running fracd instead of solving
+// in-process. The local trace root rides the request as a traceparent
+// header, and the daemon ships its span tree back in the response; the
+// tree is stitched under the local request span so -trace prints one
+// client+server waterfall, and the same trace stays retrievable from
+// the daemon at /debug/traces/{id}.
+func runRemote(url string, targets []maskfrac.Polygon, name string, method maskfrac.Method,
+	multi bool, params maskfrac.Params, workers int, outPath, svgPath string, verbose, trace bool) error {
+	ctx := context.Background()
+	var root *telemetry.Span
+	if trace {
+		ctx, root = telemetry.WithTrace(ctx, "fracture "+name)
+	}
+	cl := fracserve.NewClient(url)
+	pw := &fracserve.ParamsWire{Sigma: params.Sigma, Gamma: params.Gamma, Lmin: params.Lmin}
+
+	cctx, call := telemetry.StartSpan(ctx, "fracserve.request")
+	call.Set("url", url)
+	if tid := call.TraceID(); tid != "" {
+		// same trace-derived request-ID scheme as the cluster client, so
+		// daemon logs and /debug/traces grep on one identifier
+		cctx = fracserve.WithRequestID(cctx, "t"+tid[:16])
+	}
+	start := time.Now()
+
+	var (
+		shotWires [][4]float64
+		shotCount int
+		failOn    int
+		failOff   int
+		feasible  bool
+		solveMS   float64
+		evalMS    float64
+		regions   = 1
+		traceID   string
+		wire      *telemetry.SpanWire
+	)
+	if multi {
+		wires := make([][][2]float64, len(targets))
+		for i, t := range targets {
+			wires[i] = maskio.PolygonWire(t)
+		}
+		resp, err := cl.Solve(cctx, &fracserve.SolveRequest{
+			Shapes:      wires,
+			Method:      string(method),
+			Params:      pw,
+			Workers:     workers,
+			ReturnTrace: trace,
+		})
+		if err != nil {
+			call.End()
+			return err
+		}
+		shotWires, shotCount = resp.Shots, resp.ShotCount
+		failOn, failOff, feasible = resp.FailOn, resp.FailOff, resp.Feasible
+		solveMS, evalMS, regions = resp.SolveMS, resp.EvalMS, resp.Regions
+		traceID, wire = resp.TraceID, resp.Trace
+	} else {
+		resp, err := cl.Do(cctx, &fracserve.Request{
+			Shape:       maskio.PolygonWire(targets[0]),
+			Method:      string(method),
+			Params:      pw,
+			ReturnTrace: trace,
+		})
+		if err != nil {
+			call.End()
+			return err
+		}
+		if len(resp.Results) != 1 {
+			call.End()
+			return fmt.Errorf("server returned %d results for one shape", len(resp.Results))
+		}
+		item := resp.Results[0]
+		if item.Error != "" {
+			call.End()
+			return fmt.Errorf("remote fracture: %s", item.Error)
+		}
+		shotWires, shotCount = item.Shots, item.ShotCount
+		failOn, failOff, feasible = item.FailOn, item.FailOff, item.Feasible
+		solveMS, evalMS = item.SolveMS, item.EvalMS
+		traceID, wire = resp.TraceID, resp.Trace
+	}
+	rtt := time.Since(start)
+	if wire != nil {
+		call.AdoptWire(wire)
+	}
+	call.End()
+	root.End()
+
+	vertices := 0
+	for _, t := range targets {
+		vertices += len(t)
+	}
+	fmt.Printf("shape %s: %d shapes, %d vertices (remote %s)\n", name, len(targets), vertices, url)
+	fmt.Printf("method %s: %d shots, %d regions, %d failing pixels (on=%d off=%d), feasible=%v\n",
+		method, shotCount, regions, failOn+failOff, failOn, failOff, feasible)
+	fmt.Printf("timing: solve %.3fs on the server, %.3fs round trip\n", solveMS/1e3, rtt.Seconds())
+	if verbose {
+		fmt.Printf("timing: evaluate %.3fs on the server\n", evalMS/1e3)
+	}
+	if root != nil {
+		if traceID != "" {
+			fmt.Printf("\ntrace %s (server keeps it at %s/debug/traces/%s):\n", traceID, cl.BaseURL, traceID)
+		} else {
+			fmt.Println("\ntrace:")
+		}
+		root.WriteTree(os.Stdout)
+		fmt.Println()
+		telemetry.WritePhaseTable(os.Stdout, root)
+	}
+
+	if outPath != "" || svgPath != "" {
+		shots, err := maskio.ShotsFromWire(shotWires)
+		if err != nil {
+			return err
+		}
+		if outPath != "" {
+			f, err := os.Create(outPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := maskio.WriteShots(f, shots); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %d shots to %s\n", len(shots), outPath)
+		}
+		if svgPath != "" {
+			if err := render(svgPath, targets, shots); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", svgPath)
+		}
+	}
+	return nil
+}

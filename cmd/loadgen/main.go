@@ -12,10 +12,20 @@
 // congruence classes land as node cache hits and the measured hit rate
 // is the real one.
 //
+// Soak mode (-soak) holds the cluster at a steady -qps for -duration
+// with a token-bucket pacer and reports a rolling time series instead
+// of a single aggregate: one row per -window with hit rate, p50/p99,
+// shots/s, retry/hedge/failover deltas and per-node balance, an SLO
+// verdict (p99 under -slo-p99 in at least 95% of windows), and at
+// least one complete cross-node trace waterfall captured by tracing
+// every -trace-every'th request. The run ends with the same /clusterz
+// control-plane table that fracd -peers serves.
+//
 // Usage:
 //
 //	loadgen -nodes 3 -method proto-eda -cols 8 -rows 8 -json BENCH.json
 //	loadgen -gds mask.gds -method mbf
+//	loadgen -soak -nodes 3 -qps 150 -duration 60s -json BENCH-soak.json
 package main
 
 import (
@@ -89,6 +99,12 @@ func main() {
 	hedge := flag.Duration("hedge", 0, "tail-hedge delay (0 disables)")
 	workers := flag.Int("node-workers", 4, "solver workers per node")
 	jsonOut := flag.String("json", "", "write the report as JSON to this path")
+	soak := flag.Bool("soak", false, "soak mode: hold -qps for -duration and report a time series")
+	qps := flag.Float64("qps", 50, "soak target request rate")
+	duration := flag.Duration("duration", time.Minute, "soak run length")
+	window := flag.Duration("window", 10*time.Second, "soak time-series bucket")
+	sloP99 := flag.Duration("slo-p99", 500*time.Millisecond, "soak SLO: per-window p99 objective (0 disables)")
+	traceEvery := flag.Int("trace-every", 64, "soak: trace request 0 and every Nth after (0 disables)")
 	flag.Parse()
 
 	lib, input, err := loadLibrary(*gds, *cols, *rows)
@@ -99,8 +115,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("replaying %d placements (%s) against %d nodes, method %s, concurrency %d\n",
-		placements, input, *nodes, *method, *concurrency)
 
 	cl, shutdown, err := spawnCluster(*nodes, cluster.Config{
 		Method:      *method,
@@ -113,18 +127,45 @@ func main() {
 	}
 	defer shutdown()
 
-	rep, err := replay(context.Background(), cl, lib, *method, *concurrency)
-	if err != nil {
-		log.Fatal(err)
+	var out any
+	if *soak {
+		fmt.Printf("soaking %d placements (%s) against %d nodes at %.0f qps for %v, method %s\n",
+			placements, input, *nodes, *qps, *duration, *method)
+		srep, err := runSoak(context.Background(), cl, lib, soakOptions{
+			QPS:         *qps,
+			Duration:    *duration,
+			Window:      *window,
+			Concurrency: *concurrency,
+			Method:      *method,
+			SLOP99:      *sloP99,
+			TraceEvery:  *traceEvery,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		srep.Date = time.Now().UTC().Format("2006-01-02")
+		srep.Input = input
+		srep.Method = *method
+		srep.Nodes = *nodes
+		printSoakReport(srep)
+		printClusterz(context.Background(), cl)
+		out = srep
+	} else {
+		fmt.Printf("replaying %d placements (%s) against %d nodes, method %s, concurrency %d\n",
+			placements, input, *nodes, *method, *concurrency)
+		rep, err := replay(context.Background(), cl, lib, *method, *concurrency)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.Date = time.Now().UTC().Format("2006-01-02")
+		rep.Input = input
+		rep.Method = *method
+		rep.Nodes = *nodes
+		printReport(rep)
+		out = rep
 	}
-	rep.Date = time.Now().UTC().Format("2006-01-02")
-	rep.Input = input
-	rep.Method = *method
-	rep.Nodes = *nodes
-
-	printReport(rep)
 	if *jsonOut != "" {
-		buf, err := json.MarshalIndent(rep, "", "  ")
+		buf, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -133,6 +174,13 @@ func main() {
 		}
 		fmt.Printf("\nreport written to %s\n", *jsonOut)
 	}
+}
+
+// printClusterz renders the /clusterz control-plane table after a soak,
+// the same view fracd -peers serves over HTTP.
+func printClusterz(ctx context.Context, cl *cluster.Client) {
+	fmt.Println("\nclusterz:")
+	cluster.WriteStatusText(os.Stdout, cl.ClusterStatus(ctx))
 }
 
 func loadLibrary(path string, cols, rows int) (*maskio.Library, string, error) {

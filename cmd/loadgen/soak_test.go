@@ -1,0 +1,76 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"maskfrac/internal/cluster"
+	"maskfrac/internal/shapegen"
+)
+
+// TestSoakSmoke is the CI soak: three in-process nodes held at a modest
+// QPS for a few seconds must produce a gap-free time series and at
+// least one complete cross-node trace waterfall. check.sh runs it under
+// -race.
+func TestSoakSmoke(t *testing.T) {
+	cl, shutdown, err := spawnCluster(3, cluster.Config{
+		Method:      "proto-eda",
+		MaxInflight: 8,
+		Fallbacks:   2,
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	lib := shapegen.DemoLibrary(1, 1)
+	rep, err := runSoak(context.Background(), cl, lib, soakOptions{
+		QPS:         60,
+		Duration:    4 * time.Second,
+		Window:      time.Second,
+		Concurrency: 8,
+		Method:      "proto-eda",
+		SLOP99:      2 * time.Second,
+		TraceEvery:  10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Requests == 0 {
+		t.Fatal("soak issued no requests")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("soak saw %d errors", rep.Errors)
+	}
+	if rep.DroppedWindows != 0 {
+		t.Fatalf("%d dropped windows (zero completions) in %d", rep.DroppedWindows, len(rep.Windows))
+	}
+	if len(rep.Windows) < 3 {
+		t.Fatalf("time series has %d windows, want >= 3", len(rep.Windows))
+	}
+	if rep.CompleteTraces < 1 {
+		t.Fatal("no complete cross-node trace captured")
+	}
+	joined := strings.Join(rep.ExampleTrace, "\n")
+	for _, want := range []string{"soak.request", "cluster.class", "cluster.attempt", "fracd.fracture"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("example waterfall missing %s:\n%s", want, joined)
+		}
+	}
+	// cycling the same placements must hit the node caches
+	if rep.ClusterHitRate == 0 {
+		t.Error("hit rate stayed zero while cycling repeated placements")
+	}
+	if !rep.SLO.Pass {
+		t.Errorf("SLO failed: %+v", rep.SLO)
+	}
+	// every window saw traffic on at least one node
+	for i, w := range rep.Windows {
+		if w.Requests > 0 && len(w.PerNode) == 0 {
+			t.Errorf("window %d has %d requests but no per-node counts", i, w.Requests)
+		}
+	}
+}

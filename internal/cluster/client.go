@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -222,6 +223,27 @@ func (c *Client) CounterValues() (retries, hedges, failovers, dedups float64) {
 // RingRebalances returns the ring membership-change count.
 func (c *Client) RingRebalances() uint64 { return c.ring.Rebalances() }
 
+// NodeRequestCounts returns the per-node attempted-request counters —
+// the balance view loadgen's soak mode tracks per window.
+func (c *Client) NodeRequestCounts() map[string]uint64 {
+	out := make(map[string]uint64)
+	c.reqs.Each(func(values []string, ct *telemetry.Counter) {
+		out[values[0]] = uint64(ct.Value())
+	})
+	return out
+}
+
+// NodeMetrics fetches and parses /metrics from one member.
+func (c *Client) NodeMetrics(ctx context.Context, id string) ([]telemetry.Sample, error) {
+	c.mu.Lock()
+	n := c.nodes[id]
+	c.mu.Unlock()
+	if n == nil {
+		return nil, fmt.Errorf("cluster: unknown node %q", id)
+	}
+	return n.fc.Metrics(ctx)
+}
+
 // NodeStats fetches /stats from one member.
 func (c *Client) NodeStats(ctx context.Context, id string) (*fracserve.StatsReply, error) {
 	c.mu.Lock()
@@ -287,6 +309,16 @@ func (c *Client) solveRouted(ctx context.Context, key shapecache.Key, poly geom.
 	defer span.End()
 	span.Set("node", cands[0])
 
+	// Request-ID base: derived from the trace ID when tracing so node
+	// logs and /debug/traces join on one identifier, fresh otherwise.
+	// Every routed attempt carries a variant of it — hedges, failovers
+	// and retries get distinguishing suffixes so each server-side log
+	// line attributes to one specific attempt.
+	ridBase := telemetry.NewRequestID()
+	if tid := span.TraceID(); tid != "" {
+		ridBase = "t" + tid[:16]
+	}
+
 	type outcome struct {
 		item *fracserve.ItemResult
 		node string
@@ -299,16 +331,34 @@ func (c *Client) solveRouted(ctx context.Context, key shapecache.Key, poly geom.
 	results := make(chan outcome, len(cands))
 	launched := 0
 	next := 0
-	launch := func() {
+	launch := func(kind string) {
 		id := cands[next]
+		rid := ridBase
+		switch kind {
+		case "hedge":
+			rid += "-h"
+		case "failover":
+			rid += "-f" + strconv.Itoa(next)
+		}
 		next++
 		launched++
+		// one sibling span per attempt: the primary, each hedge and each
+		// failover show up side by side in the stitched waterfall
+		att := span.Child("cluster.attempt")
+		att.Set("node", id)
+		att.Set("kind", kind)
+		att.Set("request_id", rid)
+		actx := fracserve.WithRequestID(telemetry.ContextWithSpan(ctx, att), rid)
 		go func() {
-			item, err := c.tryNode(ctx, id, poly)
+			item, err := c.tryNode(actx, id, poly)
+			if err != nil {
+				att.Set("err", err.Error())
+			}
+			att.End()
 			results <- outcome{item: item, node: id, err: err}
 		}()
 	}
-	launch()
+	launch("primary")
 
 	var hedgeC <-chan time.Time
 	if c.cfg.HedgeDelay > 0 {
@@ -342,14 +392,14 @@ func (c *Client) solveRouted(ctx context.Context, key shapecache.Key, poly geom.
 			c.log.Warn("node failed", "node", out.node, "err", out.err.Error())
 			if next < len(cands) {
 				c.failovers.Inc()
-				launch()
+				launch("failover")
 			}
 		case <-hedgeC:
 			hedgeC = nil
 			if next < len(cands) {
 				c.hedges.Inc()
 				span.Set("hedged", true)
-				launch()
+				launch("hedge")
 			}
 		case <-ctx.Done():
 			return nil, ctx.Err()
@@ -395,8 +445,10 @@ func (c *Client) tryNode(ctx context.Context, id string, poly geom.Polygon) (*fr
 		return nil, fmt.Errorf("cluster: unknown node %q", id)
 	}
 	backoff := c.cfg.RetryBackoff
+	rid := fracserve.RequestIDFrom(ctx)
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		actx := ctx
 		if attempt > 0 {
 			c.retries.Inc()
 			wait := backoff
@@ -409,6 +461,9 @@ func (c *Client) tryNode(ctx context.Context, id string, poly geom.Polygon) (*fr
 			case <-ctx.Done():
 				return nil, ctx.Err()
 			}
+			if rid != "" {
+				actx = fracserve.WithRequestID(ctx, rid+"-r"+strconv.Itoa(attempt))
+			}
 		}
 		// back-pressure: cap concurrent requests to this node
 		select {
@@ -419,7 +474,7 @@ func (c *Client) tryNode(ctx context.Context, id string, poly geom.Polygon) (*fr
 		g := c.inflight.With(id)
 		g.Inc()
 		c.reqs.With(id).Inc()
-		tctx, cancel := context.WithTimeout(ctx, c.cfg.RequestTimeout)
+		tctx, cancel := context.WithTimeout(actx, c.cfg.RequestTimeout)
 		item, err := c.fracture(tctx, n, poly)
 		cancel()
 		g.Dec()
@@ -438,7 +493,11 @@ func (c *Client) tryNode(ctx context.Context, id string, poly geom.Polygon) (*fr
 	return nil, lastErr
 }
 
-// fracture sends one single-shape request.
+// fracture sends one single-shape request. When the context carries an
+// active span, the node's returned span tree is stitched under it —
+// the fracserve client sends the span's traceparent, the node adopts
+// it and returns its tree, and AdoptWire grafts that tree back in, so
+// a local trace renders one cross-node waterfall.
 func (c *Client) fracture(ctx context.Context, n *node, poly geom.Polygon) (*fracserve.ItemResult, error) {
 	req := &fracserve.Request{
 		Shape:     maskio.PolygonWire(poly),
@@ -449,6 +508,9 @@ func (c *Client) fracture(ctx context.Context, n *node, poly geom.Polygon) (*fra
 	resp, err := n.fc.Do(ctx, req)
 	if err != nil {
 		return nil, err
+	}
+	if resp.Trace != nil {
+		telemetry.ActiveSpan(ctx).AdoptWire(resp.Trace)
 	}
 	if len(resp.Results) != 1 {
 		return nil, fmt.Errorf("cluster: node %s returned %d results for one shape", n.id, len(resp.Results))

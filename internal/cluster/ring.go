@@ -13,6 +13,7 @@ package cluster
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"math"
 	"sort"
 	"sync"
 
@@ -126,6 +127,28 @@ func (r *Ring) Rebalances() uint64 {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return r.rebalances
+}
+
+// OwnershipShare returns each member's fraction of the key space —
+// the arcs its virtual points own, summed. With uniform keys this is
+// the expected share of classes routed to the node, so /clusterz can
+// tell imbalance caused by the ring from imbalance caused by the
+// workload.
+func (r *Ring) OwnershipShare() map[string]float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(r.members))
+	for i, p := range r.points {
+		prev := r.points[(i+len(r.points)-1)%len(r.points)].hash
+		// uint64 wraparound yields the correct arc length for the point
+		// that crosses zero; accumulate in float64 so a single-member
+		// ring's full circle does not overflow back to zero
+		out[p.node] += float64(p.hash-prev) / math.Exp2(64)
+	}
+	return out
 }
 
 // Lookup returns the node owning key: the first virtual point at or

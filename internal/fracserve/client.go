@@ -14,7 +14,36 @@ import (
 
 	"maskfrac/internal/geom"
 	"maskfrac/internal/maskio"
+	"maskfrac/internal/telemetry"
 )
+
+// clientReqIDKey carries a caller-chosen X-Request-ID on the context.
+type clientReqIDKey struct{}
+
+// WithRequestID returns a context that makes the client send the given
+// X-Request-ID on every request it issues.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, clientReqIDKey{}, id)
+}
+
+// RequestIDFrom returns the request ID installed by WithRequestID, or
+// "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(clientReqIDKey{}).(string)
+	return id
+}
+
+// decorate stamps outbound observability headers: the W3C traceparent
+// of the context's active span (so the server's phase spans join the
+// caller's trace) and the caller's request ID.
+func decorate(ctx context.Context, hr *http.Request) {
+	if sc := telemetry.SpanContextOf(ctx); sc.Valid() {
+		hr.Header.Set("traceparent", sc.Traceparent())
+	}
+	if id := RequestIDFrom(ctx); id != "" {
+		hr.Header.Set("X-Request-ID", id)
+	}
+}
 
 // ErrQueueFull is returned by the client when the server rejects a
 // request because its work queue is at capacity (HTTP 429). The
@@ -104,6 +133,7 @@ func (c *Client) Do(ctx context.Context, req *Request) (*Response, error) {
 		return nil, err
 	}
 	hr.Header.Set("Content-Type", "application/json")
+	decorate(ctx, hr)
 	resp, err := c.http().Do(hr)
 	if err != nil {
 		return nil, err
@@ -164,6 +194,7 @@ func (c *Client) Solve(ctx context.Context, req *SolveRequest) (*SolveResponse, 
 		return nil, err
 	}
 	hr.Header.Set("Content-Type", "application/json")
+	decorate(ctx, hr)
 	resp, err := c.http().Do(hr)
 	if err != nil {
 		return nil, err
@@ -213,6 +244,27 @@ func (c *Client) Stats(ctx context.Context) (*StatsReply, error) {
 		return nil, fmt.Errorf("%w: decode stats: %v", ErrProtocol, err)
 	}
 	return &out, nil
+}
+
+// Metrics fetches and parses the server's /metrics endpoint.
+func (c *Client) Metrics(ctx context.Context) ([]telemetry.Sample, error) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, statusError(resp)
+	}
+	samples, err := telemetry.ParsePrometheus(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("%w: parse metrics: %v", ErrProtocol, err)
+	}
+	return samples, nil
 }
 
 // Healthz probes the server's liveness endpoint.

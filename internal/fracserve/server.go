@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,6 +17,7 @@ import (
 	"maskfrac/internal/geom"
 	"maskfrac/internal/maskio"
 	"maskfrac/internal/telemetry"
+	"maskfrac/internal/telemetry/tracestore"
 )
 
 // Config tunes a fracturing server. Zero values select the defaults
@@ -48,6 +50,9 @@ type Config struct {
 	// Logger receives structured access and lifecycle logs (default:
 	// discard everything).
 	Logger *telemetry.Logger
+	// TraceStore tunes retention of completed request traces served on
+	// /debug/traces; zero values select the tracestore defaults.
+	TraceStore tracestore.Config
 	// EnablePprof mounts the net/http/pprof profiling handlers under
 	// /debug/pprof/.
 	EnablePprof bool
@@ -101,12 +106,13 @@ type job struct {
 // instrumented with a telemetry registry (served on /metrics) and a
 // structured access log.
 type Server struct {
-	cfg   Config
-	cache *maskfrac.ShapeCache
-	jobs  chan *job
-	mux   *http.ServeMux
-	log   *telemetry.Logger
-	reg   *telemetry.Registry
+	cfg    Config
+	cache  *maskfrac.ShapeCache
+	jobs   chan *job
+	mux    *http.ServeMux
+	log    *telemetry.Logger
+	reg    *telemetry.Registry
+	traces *tracestore.Store
 
 	workerWg sync.WaitGroup
 	httpSrv  *http.Server
@@ -145,11 +151,12 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		jobs:  make(chan *job, cfg.QueueDepth),
-		log:   cfg.Logger,
-		reg:   cfg.Metrics,
-		start: time.Now(),
+		cfg:    cfg,
+		jobs:   make(chan *job, cfg.QueueDepth),
+		log:    cfg.Logger,
+		reg:    cfg.Metrics,
+		traces: tracestore.New(cfg.TraceStore),
+		start:  time.Now(),
 	}
 	if cfg.CacheEntries >= 0 {
 		s.cache = maskfrac.NewShapeCache(cfg.CacheEntries)
@@ -162,6 +169,8 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.Handle("/metrics", s.reg.Handler())
+	mux.HandleFunc("/debug/traces", s.handleTraces)
+	mux.HandleFunc("/debug/traces/", s.handleTraces)
 	if cfg.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -209,7 +218,12 @@ func (s *Server) registerMetrics() {
 	s.mShots = r.CounterVec("fracd_shots_total",
 		"shots produced by method", "method")
 	s.solveDur = r.HistogramVec("fracd_solve_duration_seconds",
-		"solver wall time of successful shapes by method", nil, "method")
+		"solver wall time of successful shapes by method",
+		telemetry.SolveDurationBuckets, "method")
+	buildVersion, buildGo := buildInfo()
+	r.GaugeVec("fracd_build_info",
+		"build metadata; the gauge is always 1", "version", "go").
+		With(buildVersion, buildGo).Set(1)
 	r.GaugeFunc("fracd_queue_depth", "shapes waiting for a worker",
 		func() float64 { return float64(len(s.jobs)) })
 	r.GaugeFunc("fracd_queue_capacity", "configured work queue bound",
@@ -218,6 +232,10 @@ func (s *Server) registerMetrics() {
 		func() float64 { return float64(s.cfg.Workers) })
 	r.GaugeFunc("fracd_uptime_seconds", "seconds since the server started",
 		func() float64 { return time.Since(s.start).Seconds() })
+	r.GaugeFunc("fracd_traces_retained", "request traces retained in the trace store",
+		func() float64 { _, retained, _ := s.traces.Stats(); return float64(retained) })
+	r.CounterFunc("fracd_traces_dropped_total", "request traces dropped by the sampling policy",
+		func() float64 { _, _, dropped := s.traces.Stats(); return float64(dropped) })
 	r.CounterFunc("fracd_eval_mutations_total",
 		"incremental evaluator mutations committed (process-wide)",
 		func() float64 { return float64(cover.EvalCounters().Mutations) })
@@ -308,18 +326,45 @@ func (s *Server) observe(h http.Handler) http.Handler {
 // cannot blow up metric cardinality with random paths.
 func pathLabel(path string) string {
 	switch path {
-	case "/fracture", "/solve", "/healthz", "/stats", "/metrics":
+	case "/fracture", "/solve", "/healthz", "/stats", "/metrics", "/clusterz":
 		return path
 	}
 	if len(path) >= len("/debug/pprof") && path[:len("/debug/pprof")] == "/debug/pprof" {
 		return "/debug/pprof"
 	}
+	if len(path) >= len("/debug/traces") && path[:len("/debug/traces")] == "/debug/traces" {
+		return "/debug/traces"
+	}
 	return "other"
+}
+
+// buildInfo extracts the module version and Go toolchain baked into the
+// binary for the fracd_build_info gauge.
+func buildInfo() (version, goVersion string) {
+	version, goVersion = "unknown", "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		goVersion = bi.GoVersion
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			version = bi.Main.Version
+		} else {
+			version = "devel"
+			for _, kv := range bi.Settings {
+				if kv.Key == "vcs.revision" && len(kv.Value) >= 12 {
+					version = kv.Value[:12]
+				}
+			}
+		}
+	}
+	return version, goVersion
 }
 
 // Handler returns the HTTP handler serving the endpoints, wrapped with
 // the observability middleware.
 func (s *Server) Handler() http.Handler { return s.httpSrv.Handler }
+
+// Handle mounts an extra handler (e.g. the cluster /clusterz view) on
+// the server's mux; it runs under the same observability middleware.
+func (s *Server) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
 
 // Metrics returns the server's telemetry registry.
 func (s *Server) Metrics() *telemetry.Registry { return s.reg }
@@ -407,7 +452,11 @@ func (s *Server) run(j *job) {
 		s.record(j.method, &item)
 		return
 	}
-	res, hit, err := maskfrac.FractureCached(j.ctx, j.target, j.params, j.method, j.opt, s.cache)
+	// one span per shape so the solver's phase spans (via StartSpan in
+	// the engine and mbf packages) nest under the request's trace
+	sctx, shapeSpan := telemetry.StartSpan(j.ctx, "fracd.shape")
+	shapeSpan.Set("index", j.idx)
+	res, hit, err := maskfrac.FractureCached(sctx, j.target, j.params, j.method, j.opt, s.cache)
 	if err != nil {
 		item.Error = err.Error()
 	} else {
@@ -423,6 +472,13 @@ func (s *Server) run(j *job) {
 			item.Shots = maskio.ShotsWire(res.Shots)
 		}
 	}
+	shapeSpan.Set("method", string(j.method))
+	shapeSpan.Set("cache_hit", item.CacheHit)
+	shapeSpan.Set("shots", item.ShotCount)
+	if item.Error != "" {
+		shapeSpan.Set("err", item.Error)
+	}
+	shapeSpan.End()
 	j.results[j.idx] = item
 	s.record(j.method, &item)
 	if s.log.Enabled(telemetry.LevelDebug) {
@@ -460,27 +516,33 @@ func (s *Server) handleFracture(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.requests.Inc()
+	reqID := requestID(r.Context())
+	tctx, root, remote := s.traceStart(r, "fracd.fracture")
+	fail := func(code int, msg string) {
+		s.finishTrace(root, remote, reqID, msg)
+		writeError(w, code, msg)
+	}
 
 	var req Request
 	r.Body = http.MaxBytesReader(w, r.Body, 256<<20)
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		fail(http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
 	wires := req.Shapes
 	if req.Shape != nil {
 		if wires != nil {
-			writeError(w, http.StatusBadRequest, "set shape or shapes, not both")
+			fail(http.StatusBadRequest, "set shape or shapes, not both")
 			return
 		}
 		wires = [][][2]float64{req.Shape}
 	}
 	if len(wires) == 0 {
-		writeError(w, http.StatusBadRequest, "no shapes")
+		fail(http.StatusBadRequest, "no shapes")
 		return
 	}
 	if len(wires) > s.cfg.MaxShapes {
-		writeError(w, http.StatusRequestEntityTooLarge,
+		fail(http.StatusRequestEntityTooLarge,
 			fmt.Sprintf("%d shapes exceeds the per-request limit of %d", len(wires), s.cfg.MaxShapes))
 		return
 	}
@@ -488,10 +550,12 @@ func (s *Server) handleFracture(w http.ResponseWriter, r *http.Request) {
 	if req.Method != "" {
 		method = maskfrac.Method(req.Method)
 		if !knownMethod(method) {
-			writeError(w, http.StatusBadRequest, "unknown method "+req.Method)
+			fail(http.StatusBadRequest, "unknown method "+req.Method)
 			return
 		}
 	}
+	root.Set("shapes", len(wires))
+	root.Set("method", string(method))
 	params := s.cfg.Params
 	if req.Params != nil {
 		params = mergeParams(params, *req.Params)
@@ -511,9 +575,8 @@ func (s *Server) handleFracture(w http.ResponseWriter, r *http.Request) {
 	if timeout > s.cfg.MaxTimeout {
 		timeout = s.cfg.MaxTimeout
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	ctx, cancel := context.WithTimeout(tctx, timeout)
 	defer cancel()
-	reqID := requestID(r.Context())
 
 	results := make([]ItemResult, len(wires))
 	var wg sync.WaitGroup
@@ -544,7 +607,7 @@ func (s *Server) handleFracture(w http.ResponseWriter, r *http.Request) {
 			// Retry-After paces well-behaved clients off the thundering
 			// herd: roughly one queue-drain's worth of head start.
 			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, "queue full, retry later")
+			fail(http.StatusTooManyRequests, "queue full, retry later")
 			return
 		}
 	}
@@ -560,7 +623,7 @@ func (s *Server) handleFracture(w http.ResponseWriter, r *http.Request) {
 		s.timeouts.Inc()
 		s.log.Warn("deadline exceeded", "id", reqID, "shapes", len(wires),
 			"timeout_ms", float64(timeout)/float64(time.Millisecond))
-		writeError(w, http.StatusGatewayTimeout, "deadline exceeded: "+ctx.Err().Error())
+		fail(http.StatusGatewayTimeout, "deadline exceeded: "+ctx.Err().Error())
 		return
 	}
 
@@ -578,6 +641,11 @@ func (s *Server) handleFracture(w http.ResponseWriter, r *http.Request) {
 		if it.CacheHit {
 			resp.Summary.CacheHits++
 		}
+	}
+	resp.TraceID = root.TraceID()
+	wire := s.finishTrace(root, remote, reqID, "")
+	if req.ReturnTrace || remote {
+		resp.Trace = wire
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

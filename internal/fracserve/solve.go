@@ -24,19 +24,25 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.solveReqs.Inc()
+	reqID := requestID(r.Context())
+	tctx, root, remote := s.traceStart(r, "fracd.solve")
+	fail := func(code int, msg string) {
+		s.finishTrace(root, remote, reqID, msg)
+		writeError(w, code, msg)
+	}
 
 	var req SolveRequest
 	r.Body = http.MaxBytesReader(w, r.Body, 256<<20)
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		fail(http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
 	if len(req.Shapes) == 0 {
-		writeError(w, http.StatusBadRequest, "no shapes")
+		fail(http.StatusBadRequest, "no shapes")
 		return
 	}
 	if len(req.Shapes) > s.cfg.MaxShapes {
-		writeError(w, http.StatusRequestEntityTooLarge,
+		fail(http.StatusRequestEntityTooLarge,
 			fmt.Sprintf("%d shapes exceeds the per-request limit of %d", len(req.Shapes), s.cfg.MaxShapes))
 		return
 	}
@@ -44,10 +50,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if req.Method != "" {
 		method = maskfrac.Method(req.Method)
 		if !knownMethod(method) {
-			writeError(w, http.StatusBadRequest, "unknown method "+req.Method)
+			fail(http.StatusBadRequest, "unknown method "+req.Method)
 			return
 		}
 	}
+	root.Set("shapes", len(req.Shapes))
+	root.Set("method", string(method))
 	params := s.cfg.Params
 	if req.Params != nil {
 		params = mergeParams(params, *req.Params)
@@ -68,22 +76,21 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if timeout > s.cfg.MaxTimeout {
 		timeout = s.cfg.MaxTimeout
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	ctx, cancel := context.WithTimeout(tctx, timeout)
 	defer cancel()
-	reqID := requestID(r.Context())
 
 	targets := make([]geom.Polygon, len(req.Shapes))
 	for i, wire := range req.Shapes {
 		target, err := maskio.PolygonFromWire(wire)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("shape %d: %s", i, err))
+			fail(http.StatusBadRequest, fmt.Sprintf("shape %d: %s", i, err))
 			return
 		}
 		targets[i] = target
 	}
 	prob, err := maskfrac.NewMultiProblem(targets, params)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		fail(http.StatusBadRequest, err.Error())
 		return
 	}
 
@@ -97,10 +104,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			s.log.Warn("solve deadline exceeded", "id", reqID,
 				"shapes", len(targets),
 				"timeout_ms", float64(timeout)/float64(time.Millisecond))
-			writeError(w, http.StatusGatewayTimeout, "deadline exceeded: "+err.Error())
+			fail(http.StatusGatewayTimeout, "deadline exceeded: "+err.Error())
 			return
 		}
-		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		fail(http.StatusUnprocessableEntity, err.Error())
 		return
 	}
 
@@ -146,6 +153,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			"id", reqID, "method", string(method), "shapes", len(targets),
 			"regions", resp.Regions, "shots", resp.ShotCount,
 			"solve_ms", resp.SolveMS)
+	}
+	resp.TraceID = root.TraceID()
+	wire := s.finishTrace(root, remote, reqID, "")
+	if req.ReturnTrace || remote {
+		resp.Trace = wire
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,158 @@
+package fracserve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"maskfrac/internal/maskio"
+	"maskfrac/internal/telemetry"
+)
+
+// TestTracePropagationE2E drives a traced client request through a real
+// HTTP round trip and asserts the tentpole behaviors: the caller's
+// traceparent is adopted by the server (phase spans under the caller's
+// trace ID), the trace is pinned in /debug/traces/{id}, and the
+// response trace stitches into the client's local tree as one
+// waterfall.
+func TestTracePropagationE2E(t *testing.T) {
+	s, c := newTestServer(t, Config{Workers: 2, QueueDepth: 16})
+
+	ctx, root := telemetry.WithTrace(context.Background(), "client")
+	_, call := telemetry.StartSpan(ctx, "fracserve.request")
+	resp, err := c.Do(telemetry.ContextWithSpan(ctx, call), &Request{
+		Shape:  maskio.PolygonWire(testL()),
+		Method: "proto-eda",
+	})
+	call.End()
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if resp.Summary.Errors != 0 {
+		t.Fatalf("errors: %+v", resp.Summary)
+	}
+
+	// the server must have joined the caller's trace
+	if resp.TraceID != root.TraceID() {
+		t.Fatalf("server trace ID %q, want caller's %q", resp.TraceID, root.TraceID())
+	}
+	// a traceparent-carrying request gets its trace back implicitly
+	if resp.Trace == nil {
+		t.Fatal("no trace in response despite traceparent")
+	}
+	if resp.Trace.ParentID != call.ID() {
+		t.Fatalf("remote root parent %q, want caller span %q", resp.Trace.ParentID, call.ID())
+	}
+	if resp.Trace.Find("fracd.shape") == nil {
+		t.Fatalf("remote trace has no fracd.shape span:\n%+v", resp.Trace)
+	}
+	// solver phase spans made it across the wire
+	if resp.Trace.Find("solve") == nil {
+		t.Fatal("remote trace has no solver phase span")
+	}
+
+	// the server retained the trace, pinned, under the caller's trace ID
+	tr, ok := s.Traces().Get(root.TraceID())
+	if !ok {
+		t.Fatalf("trace %s not retained on server", root.TraceID())
+	}
+	if !tr.Pinned {
+		t.Error("remote-requested trace not pinned")
+	}
+	if tr.Root.Find("fracd.shape") == nil {
+		t.Error("retained trace has no fracd.shape span")
+	}
+	if tr.RequestID == "" {
+		t.Error("retained trace has no request ID")
+	}
+
+	// stitching: grafting the remote tree under the call span yields one
+	// tree whose every span shares the caller's trace ID
+	call.AdoptWire(resp.Trace)
+	root.End()
+	stitched := root.Find("fracd.fracture")
+	if stitched == nil {
+		t.Fatal("stitched tree has no fracd.fracture span")
+	}
+	if stitched.TraceID() != root.TraceID() {
+		t.Fatalf("stitched span trace %q, want %q", stitched.TraceID(), root.TraceID())
+	}
+	if root.Find("solve") == nil {
+		t.Fatal("stitched tree has no solver phase span")
+	}
+
+	// /debug/traces lists it; /debug/traces/{id} serves the full tree
+	httpGet := func(path string, out any) {
+		t.Helper()
+		hr, _ := http.NewRequest(http.MethodGet, c.BaseURL+path, nil)
+		resp, err := c.http().Do(hr)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: HTTP %d", path, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decode: %v", path, err)
+		}
+	}
+	var list TraceListReply
+	httpGet("/debug/traces", &list)
+	found := false
+	for _, sum := range list.Traces {
+		if sum.TraceID == root.TraceID() {
+			found = true
+			if sum.Kept != "pinned" && sum.Kept != "slow" && sum.Kept != "sampled" {
+				t.Errorf("kept = %q", sum.Kept)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("trace %s not in /debug/traces listing", root.TraceID())
+	}
+	var one TraceReply
+	httpGet("/debug/traces/"+root.TraceID(), &one)
+	if one.Trace.Root.Find("fracd.shape") == nil {
+		t.Error("served trace has no fracd.shape span")
+	}
+	if len(one.Text) == 0 {
+		t.Error("served trace has no rendered waterfall")
+	}
+}
+
+// TestTraceWithoutCaller asserts untraced requests still produce a
+// server-local trace with a fresh trace ID and no response trace.
+func TestTraceWithoutCaller(t *testing.T) {
+	s, c := newTestServer(t, Config{Workers: 2, QueueDepth: 16})
+	resp, err := c.Do(context.Background(), &Request{
+		Shape:  maskio.PolygonWire(testShape(60)),
+		Method: "proto-eda",
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if resp.TraceID == "" {
+		t.Fatal("no trace ID on untraced request")
+	}
+	if resp.Trace != nil {
+		t.Fatal("trace returned without return_trace or traceparent")
+	}
+	if _, ok := s.Traces().Get(resp.TraceID); !ok {
+		t.Fatal("untraced request's trace not retained (SampleRate defaults to 1)")
+	}
+
+	// return_trace opts in explicitly
+	resp, err = c.Do(context.Background(), &Request{
+		Shape:       maskio.PolygonWire(testShape(60)),
+		Method:      "proto-eda",
+		ReturnTrace: true,
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if resp.Trace == nil {
+		t.Fatal("return_trace ignored")
+	}
+}

@@ -1,0 +1,92 @@
+package fracserve
+
+import (
+	"context"
+	"net/http"
+	"strings"
+
+	"maskfrac/internal/telemetry"
+	"maskfrac/internal/telemetry/tracestore"
+)
+
+// traceStart begins the root span for one request. When the request
+// carries a W3C traceparent header the caller's trace context is
+// adopted, so the solver's phase spans become children of the remote
+// caller's span. remote reports whether a caller context was adopted —
+// those traces are pinned in the store and returned in the response
+// body when asked for.
+func (s *Server) traceStart(r *http.Request, name string) (ctx context.Context, root *telemetry.Span, remote bool) {
+	if sc, ok := telemetry.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		ctx, root = telemetry.WithRemoteTrace(r.Context(), name, sc)
+		return ctx, root, true
+	}
+	ctx, root = telemetry.WithTrace(r.Context(), name)
+	return ctx, root, false
+}
+
+// finishTrace ends the root span, retains the trace in the store, and
+// returns its wire form for embedding in the response.
+func (s *Server) finishTrace(root *telemetry.Span, remote bool, reqID, errMsg string) *telemetry.SpanWire {
+	if root == nil {
+		return nil
+	}
+	root.End()
+	wire := root.Wire()
+	s.traces.Add(tracestore.Trace{
+		TraceID:   root.TraceID(),
+		Name:      root.Name,
+		RequestID: reqID,
+		Start:     root.Start,
+		Duration:  root.Duration(),
+		Err:       errMsg,
+		Pinned:    remote,
+		Root:      wire,
+	})
+	return wire
+}
+
+// Traces returns the server's bounded trace store.
+func (s *Server) Traces() *tracestore.Store { return s.traces }
+
+// TraceListReply is the GET /debug/traces body.
+type TraceListReply struct {
+	Added    uint64               `json:"added"`
+	Retained uint64               `json:"retained"`
+	Dropped  uint64               `json:"dropped"`
+	Traces   []tracestore.Summary `json:"traces"`
+}
+
+// TraceReply is the GET /debug/traces/{traceID} body: the full span
+// tree plus a pre-rendered waterfall, one line per element.
+type TraceReply struct {
+	Trace tracestore.Trace `json:"trace"`
+	Text  []string         `json:"text"`
+}
+
+// handleTraces serves GET /debug/traces (the retained-trace listing)
+// and GET /debug/traces/{traceID} (one full trace).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	id := strings.Trim(strings.TrimPrefix(r.URL.Path, "/debug/traces"), "/")
+	if id == "" {
+		added, retained, dropped := s.traces.Stats()
+		writeJSON(w, http.StatusOK, TraceListReply{
+			Added:    added,
+			Retained: retained,
+			Dropped:  dropped,
+			Traces:   s.traces.List(),
+		})
+		return
+	}
+	tr, ok := s.traces.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no retained trace "+id)
+		return
+	}
+	var sb strings.Builder
+	tr.Root.Span().WriteTree(&sb)
+	writeJSON(w, http.StatusOK, TraceReply{Trace: tr, Text: strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")})
+}

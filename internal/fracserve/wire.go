@@ -9,7 +9,10 @@
 //	                 decompose–solve–stitch engine (SolveRequest/SolveResponse)
 //	GET  /healthz  — liveness probe
 //	GET  /stats    — cache counters, queue depth, per-method aggregates
+//	GET  /debug/traces — retained request traces (see tracestore)
 package fracserve
+
+import "maskfrac/internal/telemetry"
 
 // Request is the POST /fracture body. Exactly one of Shape or Shapes
 // must be set. Zero-valued fields select the server's defaults.
@@ -30,6 +33,9 @@ type Request struct {
 	// OmitShots drops the shot lists from the response, returning only
 	// counts and evaluation results (useful for large batches).
 	OmitShots bool `json:"omit_shots,omitempty"`
+	// ReturnTrace asks for the request's span tree in Response.Trace.
+	// Requests carrying a traceparent header get it implicitly.
+	ReturnTrace bool `json:"return_trace,omitempty"`
 }
 
 // ParamsWire mirrors maskfrac.Params on the wire. Zero-valued fields
@@ -79,6 +85,13 @@ type Summary struct {
 type Response struct {
 	Results []ItemResult `json:"results"`
 	Summary Summary      `json:"summary"`
+	// TraceID identifies the request's trace (retained on the server,
+	// see GET /debug/traces/{id}); it matches the caller's trace ID when
+	// the request carried a traceparent header.
+	TraceID string `json:"trace_id,omitempty"`
+	// Trace is the request's serialized span tree, present when the
+	// request asked for it (ReturnTrace) or carried a traceparent.
+	Trace *telemetry.SpanWire `json:"trace,omitempty"`
 }
 
 // SolveRequest is the POST /solve body: one multi-shape fracturing
@@ -107,6 +120,10 @@ type SolveRequest struct {
 	// IncludeQuality adds edge-placement-error and sliver statistics of
 	// the merged shot list to the response.
 	IncludeQuality bool `json:"include_quality,omitempty"`
+	// ReturnTrace asks for the request's span tree in
+	// SolveResponse.Trace. Requests carrying a traceparent header get it
+	// implicitly.
+	ReturnTrace bool `json:"return_trace,omitempty"`
 }
 
 // QualityWire carries optional solution-quality statistics: the edge
@@ -137,6 +154,9 @@ type SolveResponse struct {
 	SolveMS  float64      `json:"solve_ms"`
 	EvalMS   float64      `json:"eval_ms"`
 	Quality  *QualityWire `json:"quality,omitempty"`
+	// TraceID and Trace mirror the /fracture response fields.
+	TraceID string              `json:"trace_id,omitempty"`
+	Trace   *telemetry.SpanWire `json:"trace,omitempty"`
 }
 
 // ErrorReply is the body of every non-2xx reply.

@@ -1,0 +1,208 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a metric name, its label set
+// and its value. ParsePrometheus produces these from the text format
+// this package's Registry writes, closing the loop for components (the
+// /clusterz aggregator) that consume a peer's /metrics endpoint.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns the value of one label ("" when absent).
+func (s Sample) Label(key string) string { return s.Labels[key] }
+
+// ParsePrometheus parses Prometheus text exposition format (version
+// 0.0.4): `name{k="v",...} value` lines, skipping comments and blanks.
+// It supports the escapes this package's writer emits (\\, \", \n) and
+// tolerates timestamps after the value.
+func ParsePrometheus(r io.Reader) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: exposition line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseSampleLine(line string) (Sample, error) {
+	s := Sample{}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("no value in %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		end, labels, err := parseLabels(rest)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return s, fmt.Errorf("no value in %q", line)
+	}
+	v, err := parseExpoFloat(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses a `{k="v",...}` block starting at rest[0] == '{'
+// and returns the index just past the closing brace.
+func parseLabels(rest string) (int, map[string]string, error) {
+	labels := make(map[string]string)
+	i := 1 // past '{'
+	for {
+		for i < len(rest) && (rest[i] == ',' || rest[i] == ' ') {
+			i++
+		}
+		if i < len(rest) && rest[i] == '}' {
+			return i + 1, labels, nil
+		}
+		eq := strings.IndexByte(rest[i:], '=')
+		if eq < 0 {
+			return 0, nil, fmt.Errorf("unterminated label block in %q", rest)
+		}
+		key := rest[i : i+eq]
+		i += eq + 1
+		if i >= len(rest) || rest[i] != '"' {
+			return 0, nil, fmt.Errorf("unquoted label value in %q", rest)
+		}
+		i++
+		var sb strings.Builder
+		for i < len(rest) && rest[i] != '"' {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				i++
+				switch rest[i] {
+				case 'n':
+					c = '\n'
+				default:
+					c = rest[i]
+				}
+			}
+			sb.WriteByte(c)
+			i++
+		}
+		if i >= len(rest) {
+			return 0, nil, fmt.Errorf("unterminated label value in %q", rest)
+		}
+		i++ // past closing quote
+		labels[key] = sb.String()
+	}
+}
+
+func parseExpoFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// SampleValue sums every sample of one family across its label sets
+// (the natural read for counters and gauges aggregated over labels).
+// ok is false when the family is absent.
+func SampleValue(samples []Sample, name string) (v float64, ok bool) {
+	for _, s := range samples {
+		if s.Name == name {
+			v += s.Value
+			ok = true
+		}
+	}
+	return v, ok
+}
+
+// HistogramQuantile estimates quantile q (in [0,1]) of a histogram
+// family from its exposition samples, aggregating `<family>_bucket`
+// cumulative counts across label sets and interpolating linearly
+// within the bucket containing the target rank. Observations in the
+// +Inf bucket clamp to the highest finite bound. Returns 0 when the
+// family is empty or absent.
+func HistogramQuantile(samples []Sample, family string, q float64) float64 {
+	type bkt struct {
+		le  float64
+		cum float64
+	}
+	byLE := make(map[float64]float64)
+	for _, s := range samples {
+		if s.Name != family+"_bucket" {
+			continue
+		}
+		le, err := parseExpoFloat(s.Label("le"))
+		if err != nil {
+			continue
+		}
+		byLE[le] += s.Value
+	}
+	if len(byLE) == 0 {
+		return 0
+	}
+	buckets := make([]bkt, 0, len(byLE))
+	for le, c := range byLE {
+		buckets = append(buckets, bkt{le, c})
+	}
+	sort.Slice(buckets, func(a, b int) bool { return buckets[a].le < buckets[b].le })
+	total := buckets[len(buckets)-1].cum
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * total
+	lowerBound, lowerCum := 0.0, 0.0
+	for _, b := range buckets {
+		if b.cum >= rank {
+			if math.IsInf(b.le, 1) {
+				return lowerBound // clamp: highest finite bound
+			}
+			if b.cum == lowerCum {
+				return b.le
+			}
+			return lowerBound + (b.le-lowerBound)*(rank-lowerCum)/(b.cum-lowerCum)
+		}
+		if !math.IsInf(b.le, 1) {
+			lowerBound, lowerCum = b.le, b.cum
+		}
+	}
+	return lowerBound
+}

@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParsePrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "a counter")
+	c.Add(3)
+	g := r.GaugeVec("x_inflight", "a gauge vec", "node")
+	g.With("a\"b").Set(2)
+	h := r.Histogram("x_seconds", "a histogram", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	samples, err := ParsePrometheus(bytes.NewReader(r.WritePrometheus(nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := SampleValue(samples, "x_total"); !ok || v != 3 {
+		t.Errorf("x_total = %v, %v", v, ok)
+	}
+	if v, ok := SampleValue(samples, "x_inflight"); !ok || v != 2 {
+		t.Errorf("x_inflight = %v, %v", v, ok)
+	}
+	found := false
+	for _, s := range samples {
+		if s.Name == "x_inflight" && s.Label("node") == `a"b` {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("escaped label value not recovered")
+	}
+	if v, ok := SampleValue(samples, "x_seconds_count"); !ok || v != 3 {
+		t.Errorf("x_seconds_count = %v, %v", v, ok)
+	}
+	// +Inf bucket parses
+	inf := 0.0
+	for _, s := range samples {
+		if s.Name == "x_seconds_bucket" && s.Label("le") == "+Inf" {
+			inf = s.Value
+		}
+	}
+	if inf != 3 {
+		t.Errorf("+Inf bucket = %v", inf)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	// 90 observations <= 0.1, 10 in (0.1, 1]: p50 interpolates inside
+	// the first bucket, p99 inside the second.
+	samples := []Sample{
+		{Name: "h_bucket", Labels: map[string]string{"le": "0.1"}, Value: 90},
+		{Name: "h_bucket", Labels: map[string]string{"le": "1"}, Value: 100},
+		{Name: "h_bucket", Labels: map[string]string{"le": "+Inf"}, Value: 100},
+	}
+	p50 := HistogramQuantile(samples, "h", 0.5)
+	if p50 <= 0 || p50 > 0.1 {
+		t.Errorf("p50 = %v, want in (0, 0.1]", p50)
+	}
+	p99 := HistogramQuantile(samples, "h", 0.99)
+	if p99 <= 0.1 || p99 > 1 {
+		t.Errorf("p99 = %v, want in (0.1, 1]", p99)
+	}
+	// aggregation across label sets: two shards of the same family
+	sharded := []Sample{
+		{Name: "h_bucket", Labels: map[string]string{"le": "0.1", "m": "a"}, Value: 45},
+		{Name: "h_bucket", Labels: map[string]string{"le": "1", "m": "a"}, Value: 50},
+		{Name: "h_bucket", Labels: map[string]string{"le": "+Inf", "m": "a"}, Value: 50},
+		{Name: "h_bucket", Labels: map[string]string{"le": "0.1", "m": "b"}, Value: 45},
+		{Name: "h_bucket", Labels: map[string]string{"le": "1", "m": "b"}, Value: 50},
+		{Name: "h_bucket", Labels: map[string]string{"le": "+Inf", "m": "b"}, Value: 50},
+	}
+	if got := HistogramQuantile(sharded, "h", 0.5); math.Abs(got-p50) > 1e-9 {
+		t.Errorf("sharded p50 = %v, want %v", got, p50)
+	}
+	// +Inf-only mass clamps to the highest finite bound
+	tail := []Sample{
+		{Name: "h_bucket", Labels: map[string]string{"le": "0.1"}, Value: 0},
+		{Name: "h_bucket", Labels: map[string]string{"le": "+Inf"}, Value: 10},
+	}
+	if got := HistogramQuantile(tail, "h", 0.5); got != 0.1 {
+		t.Errorf("tail p50 = %v, want clamp to 0.1", got)
+	}
+	if got := HistogramQuantile(nil, "h", 0.5); got != 0 {
+		t.Errorf("empty quantile = %v", got)
+	}
+}
+
+func TestParsePrometheusRejectsGarbage(t *testing.T) {
+	if _, err := ParsePrometheus(strings.NewReader("metric_name_only\n")); err == nil {
+		t.Error("value-less line accepted")
+	}
+	if _, err := ParsePrometheus(strings.NewReader(`m{x="unterminated 1` + "\n")); err == nil {
+		t.Error("unterminated label accepted")
+	}
+}

@@ -247,6 +247,16 @@ var DefBuckets = []float64{
 // distributions (the paper's clips land between 5 and ~60 shots).
 var ShotCountBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
 
+// SolveDurationBuckets are per-shape solve-time buckets in seconds. The
+// service's latency distribution is sharply bimodal — ~0.1 ms for a
+// shape-cache hit versus seconds for an MBF solve — so the low end
+// extends to 50 µs with roughly 1-2-5 steps; DefBuckets' 0.5 ms floor
+// collapsed every cache hit into the first bucket.
+var SolveDurationBuckets = []float64{
+	0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300,
+}
+
 func normBuckets(b []float64) []float64 {
 	if b == nil {
 		b = DefBuckets

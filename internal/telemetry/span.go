@@ -19,6 +19,14 @@ type Span struct {
 	Name  string
 	Start time.Time
 
+	// trace/id/parent identify the span for cross-process propagation:
+	// trace is the 16-byte trace ID shared by the whole tree, id the
+	// span's own 8-byte ID, parent the remote caller's span ID (set only
+	// on roots adopted via WithRemoteTrace). All lower-case hex.
+	trace  string
+	id     string
+	parent string
+
 	mu       sync.Mutex
 	dur      time.Duration
 	ended    bool
@@ -38,7 +46,7 @@ type spanKey struct{}
 // root span under which StartSpan calls nest. The caller must End the
 // root before reading the tree.
 func WithTrace(ctx context.Context, name string) (context.Context, *Span) {
-	root := &Span{Name: name, Start: time.Now()}
+	root := &Span{Name: name, Start: time.Now(), trace: NewTraceID(), id: newSpanID()}
 	return context.WithValue(ctx, spanKey{}, root), root
 }
 
@@ -67,11 +75,55 @@ func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	c := &Span{Name: name, Start: time.Now()}
+	c := &Span{Name: name, Start: time.Now(), trace: s.trace, id: newSpanID()}
 	s.mu.Lock()
 	s.children = append(s.children, c)
 	s.mu.Unlock()
 	return c
+}
+
+// ID returns the span's 8-byte hex ID ("" on a nil span).
+func (s *Span) ID() string {
+	if s == nil {
+		return ""
+	}
+	return s.id
+}
+
+// TraceID returns the 16-byte hex trace ID the span belongs to.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.trace
+}
+
+// SpanContext returns the span's propagation context.
+func (s *Span) SpanContext() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.trace, SpanID: s.id}
+}
+
+// RemoteParentID returns the remote caller's span ID on roots created
+// by WithRemoteTrace, "" otherwise.
+func (s *Span) RemoteParentID() string {
+	if s == nil {
+		return ""
+	}
+	return s.parent
+}
+
+// Adopt grafts an already-built span (typically reconstructed from a
+// remote process's wire form) under s as a child.
+func (s *Span) Adopt(c *Span) {
+	if s == nil || c == nil {
+		return
+	}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
 }
 
 // End fixes the span's duration. Subsequent Ends are ignored.

@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// SpanContext identifies one span inside one distributed trace: the
+// 16-byte trace ID shared by every span of the trace and the 8-byte ID
+// of the span itself, both lower-case hex. It is the unit of
+// cross-process propagation — a client encodes its active span's
+// context as a W3C-style traceparent header, the server adopts it, and
+// the server's spans become children of the caller's span even though
+// the two trees live in different processes.
+type SpanContext struct {
+	TraceID string // 32 hex chars
+	SpanID  string // 16 hex chars
+}
+
+// Valid reports whether both IDs have the right shape and are not
+// all-zero (the W3C invalid sentinel).
+func (sc SpanContext) Valid() bool {
+	return isHexID(sc.TraceID, 32) && isHexID(sc.SpanID, 16)
+}
+
+func isHexID(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	zero := true
+	for i := 0; i < n; i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+		if c != '0' {
+			zero = false
+		}
+	}
+	return !zero
+}
+
+// Traceparent renders the context as a W3C traceparent header value:
+// version 00, sampled flag set (this tracer has no head-sampling bit —
+// a propagated trace is always recorded).
+func (sc SpanContext) Traceparent() string {
+	return "00-" + sc.TraceID + "-" + sc.SpanID + "-01"
+}
+
+// ParseTraceparent parses a W3C traceparent header value
+// (version-traceid-spanid-flags). It accepts any version byte and
+// ignores the flags, returning ok=false on anything malformed.
+func ParseTraceparent(h string) (SpanContext, bool) {
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) < 4 || len(parts[0]) != 2 {
+		return SpanContext{}, false
+	}
+	sc := SpanContext{TraceID: strings.ToLower(parts[1]), SpanID: strings.ToLower(parts[2])}
+	if !sc.Valid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+// idState seeds the process-local span ID generator: an 8-byte random
+// base from the system source, mixed with an atomic counter through
+// splitmix64. One atomic add per span keeps tracing cheap enough for
+// the refiner's per-iteration spans; uniqueness within the process is
+// what stitching needs, and the random base makes cross-process
+// collisions vanishingly unlikely.
+var (
+	idBase    = seedBase()
+	idCounter atomic.Uint64
+)
+
+func seedBase() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return uint64(time.Now().UnixNano())
+	}
+	return binary.BigEndian.Uint64(b[:])
+}
+
+// splitmix64 is the finalizer of the splitmix64 generator: a cheap
+// bijective mixer with good avalanche behavior.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func newSpanID() string {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], splitmix64(idBase+idCounter.Add(1)))
+	return hex.EncodeToString(b[:])
+}
+
+// NewTraceID returns a fresh 16-byte trace ID in hex.
+func NewTraceID() string {
+	var b [16]byte
+	binary.BigEndian.PutUint64(b[:8], splitmix64(idBase+idCounter.Add(1)))
+	binary.BigEndian.PutUint64(b[8:], splitmix64(idBase+idCounter.Add(1)))
+	return hex.EncodeToString(b[:])
+}
+
+// WithRemoteTrace installs a root span that continues a remote caller's
+// trace: the root adopts sc.TraceID and records sc.SpanID as its remote
+// parent, so when the caller stitches this tree under its own span the
+// IDs line up.
+func WithRemoteTrace(ctx context.Context, name string, sc SpanContext) (context.Context, *Span) {
+	root := &Span{Name: name, Start: time.Now(),
+		trace: sc.TraceID, id: newSpanID(), parent: sc.SpanID}
+	return context.WithValue(ctx, spanKey{}, root), root
+}
+
+// ContextWithSpan installs an existing span as the active span on ctx,
+// so spans created elsewhere (per-attempt spans in a routing loop) can
+// parent the instrumentation below them.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanContextOf returns the propagation context of ctx's active span.
+// The zero SpanContext (Valid() == false) means tracing is disabled.
+func SpanContextOf(ctx context.Context) SpanContext {
+	s := ActiveSpan(ctx)
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.SpanContext()
+}

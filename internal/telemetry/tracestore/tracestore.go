@@ -1,0 +1,274 @@
+// Package tracestore retains completed request traces in bounded
+// memory so a fracd node can answer "what did request X actually do"
+// after the fact (GET /debug/traces). Retention composes three
+// policies, checked in order per finished trace:
+//
+//  1. errors are always kept (their own ring, so a burst of failures
+//     cannot be washed out by healthy traffic),
+//  2. the slowest N traces seen so far are kept (the tail is what
+//     latency debugging needs, and uniform sampling would miss it),
+//  3. everything else is sampled into a ring buffer with probability
+//     SampleRate; the ring evicts oldest-first.
+//
+// Explicitly requested traces (a caller-supplied traceparent) are
+// "pinned": they bypass the sampling coin flip but still live in the
+// bounded ring, so a misbehaving caller cannot grow the store.
+package tracestore
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"maskfrac/internal/telemetry"
+)
+
+// Trace is one completed request trace.
+type Trace struct {
+	// TraceID is the 16-byte hex trace ID (shared with the caller when
+	// the request carried a traceparent).
+	TraceID string `json:"trace_id"`
+	// Name is the root span name (e.g. "fracd.fracture").
+	Name string `json:"name"`
+	// RequestID is the X-Request-ID the request was served under.
+	RequestID string `json:"request_id,omitempty"`
+	// Start and Duration mirror the root span.
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	// Err is the request's error message ("" on success). Error traces
+	// are always retained.
+	Err string `json:"err,omitempty"`
+	// Pinned marks traces the caller explicitly asked for (remote
+	// traceparent); they skip the sampling coin flip.
+	Pinned bool `json:"pinned,omitempty"`
+	// Root is the serialized span tree.
+	Root *telemetry.SpanWire `json:"root"`
+}
+
+// Config tunes a Store. Zero values select the defaults noted on each
+// field.
+type Config struct {
+	// Capacity bounds the sampled/pinned ring (default 256).
+	Capacity int
+	// ErrCapacity bounds the always-keep-errors ring (default
+	// max(16, Capacity/4)).
+	ErrCapacity int
+	// KeepSlowest pins the N slowest successful traces seen so far
+	// (default 16).
+	KeepSlowest int
+	// SampleRate is the admission probability for ordinary successful
+	// traces (default 1: keep everything, let the ring evict). Set
+	// below 1 on high-QPS nodes so the ring spans a longer horizon.
+	// Negative disables ordinary admission entirely.
+	SampleRate float64
+	// Rand overrides the sampling source (tests); must return values
+	// in [0,1). Nil selects a seeded process-local generator.
+	Rand func() float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Capacity <= 0 {
+		c.Capacity = 256
+	}
+	if c.ErrCapacity <= 0 {
+		c.ErrCapacity = c.Capacity / 4
+		if c.ErrCapacity < 16 {
+			c.ErrCapacity = 16
+		}
+	}
+	if c.KeepSlowest <= 0 {
+		c.KeepSlowest = 16
+	}
+	if c.SampleRate == 0 {
+		c.SampleRate = 1
+	} else if c.SampleRate < 0 {
+		c.SampleRate = 0
+	} else if c.SampleRate > 1 {
+		c.SampleRate = 1
+	}
+	return c
+}
+
+// entry wraps a retained trace with its admission order.
+type entry struct {
+	seq  uint64
+	t    *Trace
+	kept string // "error" | "slow" | "sampled" | "pinned"
+}
+
+// ring is a fixed-capacity overwrite-oldest buffer.
+type ring struct {
+	buf  []*entry
+	next int
+}
+
+func newRing(capacity int) *ring { return &ring{buf: make([]*entry, 0, capacity)} }
+
+func (r *ring) add(e *entry) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+		return
+	}
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % len(r.buf)
+}
+
+// Store retains completed traces under the configured policy. It is
+// safe for concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	cfg     Config
+	seq     uint64
+	sampled *ring
+	errors  *ring
+	slow    []*entry // min-heap ordered slice by duration, len <= KeepSlowest
+	rnd     func() float64
+
+	added   uint64
+	dropped uint64
+}
+
+// New returns a store with the given configuration.
+func New(cfg Config) *Store {
+	cfg = cfg.withDefaults()
+	s := &Store{
+		cfg:     cfg,
+		sampled: newRing(cfg.Capacity),
+		errors:  newRing(cfg.ErrCapacity),
+		rnd:     cfg.Rand,
+	}
+	if s.rnd == nil {
+		var mu sync.Mutex
+		state := uint64(time.Now().UnixNano())
+		s.rnd = func() float64 {
+			mu.Lock()
+			state = state*6364136223846793005 + 1442695040888963407
+			x := state >> 11
+			mu.Unlock()
+			return float64(x) / float64(1<<53)
+		}
+	}
+	return s
+}
+
+// Add offers one completed trace to the store.
+func (s *Store) Add(t Trace) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.added++
+	s.seq++
+	e := &entry{seq: s.seq, t: &t}
+	switch {
+	case t.Err != "":
+		e.kept = "error"
+		s.errors.add(e)
+	case s.admitSlow(e):
+		// admitSlow stores the entry itself
+	case t.Pinned:
+		e.kept = "pinned"
+		s.sampled.add(e)
+	case s.rnd() < s.cfg.SampleRate:
+		e.kept = "sampled"
+		s.sampled.add(e)
+	default:
+		s.dropped++
+	}
+}
+
+// admitSlow keeps the slowest-N successful traces: admit while below
+// capacity, otherwise displace the current minimum if this trace is
+// slower. The displaced trace is dropped (it had its chance).
+func (s *Store) admitSlow(e *entry) bool {
+	if len(s.slow) < s.cfg.KeepSlowest {
+		e.kept = "slow"
+		s.slow = append(s.slow, e)
+		s.sortSlow()
+		return true
+	}
+	if len(s.slow) == 0 || e.t.Duration <= s.slow[0].t.Duration {
+		return false
+	}
+	e.kept = "slow"
+	s.slow[0] = e
+	s.sortSlow()
+	return true
+}
+
+func (s *Store) sortSlow() {
+	sort.Slice(s.slow, func(a, b int) bool { return s.slow[a].t.Duration < s.slow[b].t.Duration })
+}
+
+// Get returns the most recently added retained trace with the given
+// trace ID.
+func (s *Store) Get(traceID string) (Trace, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var best *entry
+	for _, e := range s.all() {
+		if e.t.TraceID == traceID && (best == nil || e.seq > best.seq) {
+			best = e
+		}
+	}
+	if best == nil {
+		return Trace{}, false
+	}
+	return *best.t, true
+}
+
+// Summary is one trace's listing line.
+type Summary struct {
+	TraceID   string    `json:"trace_id"`
+	Name      string    `json:"name"`
+	RequestID string    `json:"request_id,omitempty"`
+	Start     time.Time `json:"start"`
+	DurMS     float64   `json:"dur_ms"`
+	Spans     int       `json:"spans"`
+	Err       string    `json:"err,omitempty"`
+	Kept      string    `json:"kept"` // retention reason
+}
+
+// List returns summaries of every retained trace, newest first.
+func (s *Store) List() []Summary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries := s.all()
+	sort.Slice(entries, func(a, b int) bool { return entries[a].seq > entries[b].seq })
+	out := make([]Summary, len(entries))
+	for i, e := range entries {
+		out[i] = Summary{
+			TraceID:   e.t.TraceID,
+			Name:      e.t.Name,
+			RequestID: e.t.RequestID,
+			Start:     e.t.Start,
+			DurMS:     float64(e.t.Duration) / float64(time.Millisecond),
+			Spans:     e.t.Root.SpanCount(),
+			Err:       e.t.Err,
+			Kept:      e.kept,
+		}
+	}
+	return out
+}
+
+// all collects every live entry (caller holds the lock).
+func (s *Store) all() []*entry {
+	out := make([]*entry, 0, len(s.sampled.buf)+len(s.errors.buf)+len(s.slow))
+	out = append(out, s.sampled.buf...)
+	out = append(out, s.errors.buf...)
+	out = append(out, s.slow...)
+	return out
+}
+
+// Stats reports store counters: traces offered, retained now, and
+// dropped by the sampling coin flip.
+func (s *Store) Stats() (added, retained, dropped uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.added, uint64(len(s.sampled.buf) + len(s.errors.buf) + len(s.slow)), s.dropped
+}
+
+// Len returns the number of retained traces.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sampled.buf) + len(s.errors.buf) + len(s.slow)
+}

@@ -1,0 +1,144 @@
+package tracestore
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"maskfrac/internal/telemetry"
+)
+
+func mkTrace(id string, dur time.Duration, errMsg string) Trace {
+	return Trace{
+		TraceID:  id,
+		Name:     "fracd.fracture",
+		Start:    time.Unix(1700000000, 0),
+		Duration: dur,
+		Err:      errMsg,
+		Root:     &telemetry.SpanWire{Name: "fracd.fracture", DurNS: int64(dur)},
+	}
+}
+
+func TestErrorsAlwaysKept(t *testing.T) {
+	// sampling fully off: only the error path admits
+	st := New(Config{Capacity: 8, KeepSlowest: 1, SampleRate: -1, Rand: func() float64 { return 0.999 }})
+	st.Add(mkTrace("aaaa", time.Second, "")) // slowest slot
+	for i := 0; i < 20; i++ {
+		st.Add(mkTrace(fmt.Sprintf("ok%02d", i), time.Millisecond, ""))
+		st.Add(mkTrace(fmt.Sprintf("er%02d", i), time.Millisecond, "boom"))
+	}
+	for i := 20 - 16; i < 20; i++ { // ErrCapacity defaults to 16
+		id := fmt.Sprintf("er%02d", i)
+		tr, ok := st.Get(id)
+		if !ok {
+			t.Fatalf("error trace %s evicted by non-errors", id)
+		}
+		if tr.Err != "boom" {
+			t.Fatalf("trace %s err = %q", id, tr.Err)
+		}
+	}
+	if _, ok := st.Get("ok05"); ok {
+		t.Fatal("sampled-out success trace retained despite SampleRate<0")
+	}
+}
+
+func TestRingBounded(t *testing.T) {
+	st := New(Config{Capacity: 8, ErrCapacity: 4, KeepSlowest: 2, SampleRate: 1})
+	for i := 0; i < 100; i++ {
+		st.Add(mkTrace(fmt.Sprintf("t%03d", i), time.Duration(i)*time.Millisecond, ""))
+		st.Add(mkTrace(fmt.Sprintf("e%03d", i), time.Millisecond, "x"))
+	}
+	if n := st.Len(); n > 8+4+2 {
+		t.Fatalf("store grew to %d entries, bound is 14", n)
+	}
+	added, retained, _ := st.Stats()
+	if added != 200 {
+		t.Fatalf("added = %d", added)
+	}
+	if retained != uint64(st.Len()) {
+		t.Fatalf("retained = %d, len = %d", retained, st.Len())
+	}
+	// newest sampled survive; oldest evicted
+	if _, ok := st.Get("t099"); !ok {
+		t.Fatal("newest trace evicted")
+	}
+	if _, ok := st.Get("t000"); ok {
+		// t000 (0ms) is neither slow nor recent; must be gone
+		t.Fatal("oldest trace still retained past ring capacity")
+	}
+}
+
+func TestSlowestKept(t *testing.T) {
+	st := New(Config{Capacity: 4, KeepSlowest: 3, SampleRate: -1, Rand: func() float64 { return 1 }})
+	durs := []time.Duration{5, 50, 10, 500, 1, 100, 2}
+	for i, d := range durs {
+		st.Add(mkTrace(fmt.Sprintf("s%d", i), d*time.Millisecond, ""))
+	}
+	// slowest three are 500 (s3), 100 (s5), 50 (s1)
+	for _, id := range []string{"s3", "s5", "s1"} {
+		if _, ok := st.Get(id); !ok {
+			t.Errorf("slow trace %s not retained", id)
+		}
+	}
+	if _, ok := st.Get("s4"); ok {
+		t.Error("fast trace s4 retained with sampling disabled")
+	}
+}
+
+func TestPinnedBypassesSampling(t *testing.T) {
+	st := New(Config{Capacity: 8, KeepSlowest: 1, SampleRate: 0.0001, Rand: func() float64 { return 0.99 }})
+	st.Add(mkTrace("slowest", time.Second, ""))
+	pinned := mkTrace("pinned1", time.Millisecond, "")
+	pinned.Pinned = true
+	st.Add(pinned)
+	st.Add(mkTrace("plain1", time.Millisecond, ""))
+	if _, ok := st.Get("pinned1"); !ok {
+		t.Fatal("pinned trace not retained")
+	}
+	if _, ok := st.Get("plain1"); ok {
+		t.Fatal("plain trace beat a 0.0001 sample rate with rand=0.99")
+	}
+	_, _, dropped := st.Stats()
+	if dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", dropped)
+	}
+}
+
+func TestSamplingProbabilistic(t *testing.T) {
+	i := 0
+	seq := []float64{0.1, 0.9, 0.3, 0.7} // alternate keep/drop at rate 0.5
+	st := New(Config{Capacity: 64, KeepSlowest: 1, SampleRate: 0.5,
+		Rand: func() float64 { v := seq[i%len(seq)]; i++; return v }})
+	st.Add(mkTrace("slowest", time.Second, ""))
+	for j := 0; j < 4; j++ {
+		st.Add(mkTrace(fmt.Sprintf("p%d", j), time.Millisecond, ""))
+	}
+	for j, want := range []bool{true, false, true, false} {
+		_, ok := st.Get(fmt.Sprintf("p%d", j))
+		if ok != want {
+			t.Errorf("trace p%d retained=%v, want %v", j, ok, want)
+		}
+	}
+}
+
+func TestListNewestFirstAndGetLatestDup(t *testing.T) {
+	st := New(Config{Capacity: 8})
+	st.Add(mkTrace("dup", time.Millisecond, ""))
+	later := mkTrace("dup", 2*time.Millisecond, "")
+	st.Add(later)
+	st.Add(mkTrace("other", time.Millisecond, ""))
+	l := st.List()
+	if len(l) != 3 {
+		t.Fatalf("list len = %d", len(l))
+	}
+	if l[0].TraceID != "other" {
+		t.Fatalf("list[0] = %+v, want newest", l[0])
+	}
+	got, ok := st.Get("dup")
+	if !ok || got.Duration != 2*time.Millisecond {
+		t.Fatalf("Get(dup) = %+v, %v; want the later trace", got, ok)
+	}
+	if l[0].Kept == "" || l[0].Spans != 1 {
+		t.Fatalf("summary = %+v", l[0])
+	}
+}

@@ -38,6 +38,13 @@ go test -race -run 'TestE2E' ./internal/fracserve
 echo "== go test -race cluster e2e (3-node smoke) =="
 go test -race -run 'TestClusterE2E' ./internal/cluster
 
+# the soak smoke holds 3 in-process nodes at a steady QPS for a few
+# seconds under the race detector and asserts a gap-free rolling time
+# series (zero dropped windows) plus at least one complete cross-node
+# trace waterfall stitched from the daemons' span trees
+echo "== go test -race loadgen soak smoke (3-node) =="
+go test -race -count=1 -run 'TestSoakSmoke' ./cmd/loadgen
+
 # -short skips the multi-minute fracturing integration suites, which are
 # too slow under the race detector; the concurrency-heavy tests
 # (shapecache, fracserve, batch, cache, telemetry) all still run.
