@@ -1,0 +1,174 @@
+// Per-Eval buffer arenas: the dose grid, failing-pixel bitmaps, edge
+// tables and accumulation scratch of an evaluator are the dominant
+// allocations of a cache-miss solve, and the refinement loops of every
+// heuristic construct evaluators repeatedly (polish candidates,
+// removal trials, merge passes). An Arena recycles those buffers
+// within a Problem, and a process-wide sync.Pool recycles whole arenas
+// across solves, so the steady state allocates nothing.
+package cover
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Process-wide arena reuse counters, exported to /metrics by the
+// fracturing service (fracd_eval_arena_*).
+var (
+	arenaHitsTotal        atomic.Int64
+	arenaMissesTotal      atomic.Int64
+	arenaBytesReusedTotal atomic.Int64
+)
+
+// ArenaStats is a snapshot of the process-wide arena reuse counters:
+// how many buffer acquisitions were served from a free list (Hits) vs
+// freshly allocated (Misses), and how many bytes the hits reused.
+type ArenaStats struct {
+	Hits        int64
+	Misses      int64
+	BytesReused int64
+}
+
+// ArenaCounters returns the current process-wide arena reuse totals.
+func ArenaCounters() ArenaStats {
+	return ArenaStats{
+		Hits:        arenaHitsTotal.Load(),
+		Misses:      arenaMissesTotal.Load(),
+		BytesReused: arenaBytesReusedTotal.Load(),
+	}
+}
+
+// arenaListCap bounds each free list; an evaluator holds one dose
+// field, two bitmaps and two scratch slices, so a handful of retained
+// buffers covers the construct-close-construct churn of the
+// refinement loops without hoarding.
+const arenaListCap = 8
+
+// An Arena recycles the large buffers behind cover evaluators. Buffers
+// flow out through the get methods (NewEval, Problem.Evaluate) and
+// back in through Eval.Close; the free lists are mutex-guarded so a
+// Problem's arena tolerates concurrent evaluators, though region
+// solves are expected to use one arena per subproblem (they share
+// nothing but the read-only model tables).
+//
+// The zero value is ready to use. Arenas themselves are pooled
+// process-wide: NewArena draws from a sync.Pool and Problem.Recycle
+// returns to it, which is what carries buffer reuse across cache-miss
+// solves.
+type Arena struct {
+	mu   sync.Mutex
+	f64  [][]float64
+	f32  [][]float32
+	bits [][]bool
+}
+
+var arenaPool = sync.Pool{New: func() any { return new(Arena) }}
+
+// NewArena returns an arena from the process-wide pool.
+func NewArena() *Arena {
+	return arenaPool.Get().(*Arena)
+}
+
+// recycle returns the arena (with whatever buffers it holds) to the
+// process-wide pool. The caller must not use it afterwards.
+func (a *Arena) recycle() {
+	arenaPool.Put(a)
+}
+
+// getF64 returns a zeroed []float64 of length n, reusing a free-listed
+// buffer when one is large enough.
+func (a *Arena) getF64(n int) []float64 {
+	a.mu.Lock()
+	for i := len(a.f64) - 1; i >= 0; i-- {
+		if s := a.f64[i]; cap(s) >= n {
+			a.f64[i] = a.f64[len(a.f64)-1]
+			a.f64 = a.f64[:len(a.f64)-1]
+			a.mu.Unlock()
+			arenaHitsTotal.Add(1)
+			arenaBytesReusedTotal.Add(8 * int64(n))
+			s = s[:n]
+			clear(s)
+			return s
+		}
+	}
+	a.mu.Unlock()
+	arenaMissesTotal.Add(1)
+	return make([]float64, n)
+}
+
+// getF32 returns a zeroed []float32 of length n.
+func (a *Arena) getF32(n int) []float32 {
+	a.mu.Lock()
+	for i := len(a.f32) - 1; i >= 0; i-- {
+		if s := a.f32[i]; cap(s) >= n {
+			a.f32[i] = a.f32[len(a.f32)-1]
+			a.f32 = a.f32[:len(a.f32)-1]
+			a.mu.Unlock()
+			arenaHitsTotal.Add(1)
+			arenaBytesReusedTotal.Add(4 * int64(n))
+			s = s[:n]
+			clear(s)
+			return s
+		}
+	}
+	a.mu.Unlock()
+	arenaMissesTotal.Add(1)
+	return make([]float32, n)
+}
+
+// getBits returns a zeroed []bool of length n.
+func (a *Arena) getBits(n int) []bool {
+	a.mu.Lock()
+	for i := len(a.bits) - 1; i >= 0; i-- {
+		if s := a.bits[i]; cap(s) >= n {
+			a.bits[i] = a.bits[len(a.bits)-1]
+			a.bits = a.bits[:len(a.bits)-1]
+			a.mu.Unlock()
+			arenaHitsTotal.Add(1)
+			arenaBytesReusedTotal.Add(int64(n))
+			s = s[:n]
+			clear(s)
+			return s
+		}
+	}
+	a.mu.Unlock()
+	arenaMissesTotal.Add(1)
+	return make([]bool, n)
+}
+
+// putF64 returns a buffer to the free list (nil and zero-capacity
+// slices are dropped, as are buffers beyond the list cap).
+func (a *Arena) putF64(s []float64) {
+	if cap(s) == 0 {
+		return
+	}
+	a.mu.Lock()
+	if len(a.f64) < arenaListCap {
+		a.f64 = append(a.f64, s[:0])
+	}
+	a.mu.Unlock()
+}
+
+// putF32 returns a buffer to the free list.
+func (a *Arena) putF32(s []float32) {
+	if cap(s) == 0 {
+		return
+	}
+	a.mu.Lock()
+	if len(a.f32) < arenaListCap {
+		a.f32 = append(a.f32, s[:0])
+	}
+	a.mu.Unlock()
+}
+
+// putBits returns a buffer to the free list.
+func (a *Arena) putBits(s []bool) {
+	if cap(s) == 0 {
+		return
+	}
+	a.mu.Lock()
+	if len(a.bits) < arenaListCap {
+		a.bits = append(a.bits, s[:0])
+	}
+	a.mu.Unlock()
+}

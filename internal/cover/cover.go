@@ -96,6 +96,36 @@ type Problem struct {
 	Class   []Class // per-pixel class, row-major over Grid
 
 	nOn, nOff int
+
+	// arena recycles evaluator buffers across the NewEval/Close churn
+	// of this problem's solve; acquired lazily, returned by Recycle.
+	arena atomic.Pointer[Arena]
+}
+
+// Arena returns the problem's buffer arena, drawing one from the
+// process-wide pool on first use (or after Recycle).
+func (p *Problem) Arena() *Arena {
+	if a := p.arena.Load(); a != nil {
+		return a
+	}
+	a := NewArena()
+	if !p.arena.CompareAndSwap(nil, a) {
+		a.recycle()
+		return p.arena.Load()
+	}
+	return a
+}
+
+// Recycle detaches the problem's arena and returns it (with its pooled
+// buffers) to the process-wide pool, so the next solve's evaluators
+// reuse the memory. Call it when no evaluator of this problem is live;
+// the engine recycles each region subproblem after its region solve.
+// The problem itself stays usable — a later NewEval simply draws a
+// fresh arena.
+func (p *Problem) Recycle() {
+	if a := p.arena.Swap(nil); a != nil {
+		a.recycle()
+	}
 }
 
 // NewProblem samples the target shape onto a grid with pitch
@@ -112,6 +142,14 @@ func NewProblem(target geom.Polygon, params Params) (*Problem, error) {
 // together (as on a real mask, where SRAF satellites sit within the
 // proximity range of the feature they assist).
 func NewMultiProblem(targets []geom.Polygon, params Params) (*Problem, error) {
+	return buildProblem(targets, params, nil)
+}
+
+// buildProblem is the shared constructor; model, when non-nil, is an
+// already-built proximity model for the same params (Subproblem passes
+// the parent's so region instances share the read-only LUT tables
+// instead of rebuilding them per region).
+func buildProblem(targets []geom.Polygon, params Params, model *ebeam.Model) (*Problem, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
@@ -127,7 +165,9 @@ func NewMultiProblem(targets []geom.Polygon, params Params) (*Problem, error) {
 		cloned[i] = t.Clone()
 		box = box.Union(t.Bounds())
 	}
-	model := params.model()
+	if model == nil {
+		model = params.model()
+	}
 	margin := model.Support() + params.Gamma + 2*params.Pitch
 	grid := raster.GridCovering(box, margin, params.Pitch)
 	inside := raster.NewBitmap(grid)
@@ -171,6 +211,11 @@ func (p *Problem) InteractionRadius() float64 {
 // alone — same grid placement, same pixel classes. Region solves on a
 // subproblem therefore produce byte-identical shots to solving the
 // subset on its own.
+//
+// The subproblem shares the parent's read-only proximity model (the
+// LUT tables are immutable after construction) but nothing mutable:
+// each subproblem draws its own buffer arena, so concurrent region
+// solves never contend.
 func (p *Problem) Subproblem(targets []int) (*Problem, error) {
 	subset := make([]geom.Polygon, len(targets))
 	for i, t := range targets {
@@ -179,7 +224,7 @@ func (p *Problem) Subproblem(targets []int) (*Problem, error) {
 		}
 		subset[i] = p.Targets[t]
 	}
-	return NewMultiProblem(subset, p.Params)
+	return buildProblem(subset, p.Params, p.Model)
 }
 
 // ContainsPoint reports whether pt lies inside any target shape.
@@ -309,10 +354,20 @@ func (s Stats) Fail() int { return s.FailOn + s.FailOff }
 func (s Stats) Feasible() bool { return s.Fail() == 0 }
 
 // Evaluate computes the violation statistics of an arbitrary shot set
-// from scratch.
+// from scratch. The dose field and accumulation scratch come from the
+// problem's arena, so repeated from-scratch evaluations (quality
+// reports, cross-checks) allocate nothing at steady state.
 func (p *Problem) Evaluate(shots []geom.Rect) Stats {
-	dose := p.Model.DoseMap(p.Grid, shots)
-	return p.statsOf(dose)
+	a := p.Arena()
+	dose := raster.Field{Grid: p.Grid, V: a.getF64(p.Grid.Len())}
+	scratch := a.getF32(0)
+	for _, s := range shots {
+		scratch = p.Model.AccumulateShotBuf(&dose, s, 1, scratch)
+	}
+	st := p.statsOf(&dose)
+	a.putF32(scratch)
+	a.putF64(dose.V)
+	return st
 }
 
 // statsOf scans a dose field against the pixel classes.
@@ -436,32 +491,62 @@ type Eval struct {
 	PixelsMutated int64
 	PixelsScored  int64
 
-	check bool      // cross-check mode, see SetCrossCheck
-	tab   edgeTabs  // moveScan scratch: per-component 1D edge tables
-	buf   []float64 // backing storage for tab
+	check  bool      // cross-check mode, see SetCrossCheck
+	tab    edgeTabs  // moveScan scratch: per-component 1D edge tables
+	buf    []float32 // backing storage for tab
+	accBuf []float32 // AccumulateShotBuf scratch, reused across mutations
+	arena  *Arena    // owner of the buffers above; receives them on Close
 }
 
 // edgeTabs holds the per-component 1D edge-profile tables of one
-// moveScan, sampled over the union support box. The model has at most
-// two Gaussian components.
+// moveScan, sampled over the union support box via the float32 strip
+// kernels. The model has at most two Gaussian components.
 type edgeTabs struct {
-	exOld, exNew [2][]float64
-	eyOld, eyNew [2][]float64
+	exOld, exNew [2][]float32
+	eyOld, eyNew [2][]float32
 }
 
 // NewEval returns an evaluator seeded with the given shots. The shot
 // list is copied; building the initial dose field and violation state
-// costs O(grid + Σ shot support boxes).
+// costs O(grid + Σ shot support boxes). The evaluator's buffers come
+// from the problem's arena — call Close when done with the evaluator
+// to return them for reuse.
 func NewEval(p *Problem, shots []geom.Rect) *Eval {
+	a := p.Arena()
+	n := p.Grid.Len()
 	e := &Eval{
 		P:       p,
-		Dose:    raster.NewField(p.Grid),
-		failOn:  raster.NewBitmap(p.Grid),
-		failOff: raster.NewBitmap(p.Grid),
+		Dose:    &raster.Field{Grid: p.Grid, V: a.getF64(n)},
+		failOn:  &raster.Bitmap{Grid: p.Grid, Bits: a.getBits(n)},
+		failOff: &raster.Bitmap{Grid: p.Grid, Bits: a.getBits(n)},
 		check:   evalCheckEnv,
+		arena:   a,
 	}
 	e.Reset(shots)
 	return e
+}
+
+// Close returns the evaluator's buffers (dose field, failing bitmaps,
+// edge tables, accumulation scratch) to the problem's arena and nils
+// the fields, so a use-after-close panics instead of corrupting a
+// successor evaluator's state. Close is idempotent; the shot list
+// stays readable. Callers that keep the dose field (via e.Dose) must
+// not Close until they are done with it.
+func (e *Eval) Close() {
+	if e.Dose == nil {
+		return
+	}
+	if a := e.arena; a != nil {
+		a.putF64(e.Dose.V)
+		a.putBits(e.failOn.Bits)
+		a.putBits(e.failOff.Bits)
+		a.putF32(e.buf)
+		a.putF32(e.accBuf)
+	}
+	e.Dose, e.failOn, e.failOff = nil, nil, nil
+	e.buf, e.accBuf = nil, nil
+	e.tab = edgeTabs{}
+	e.arena = nil
 }
 
 // SetCrossCheck toggles the debug cross-check mode for this evaluator:
@@ -476,12 +561,10 @@ func (e *Eval) SetCrossCheck(on bool) { e.check = on }
 // boxes). Use it to restore a snapshot; single-shot changes should go
 // through the incremental mutators instead.
 func (e *Eval) Reset(shots []geom.Rect) {
-	for k := range e.Dose.V {
-		e.Dose.V[k] = 0
-	}
+	clear(e.Dose.V)
 	e.Shots = append(e.Shots[:0], shots...)
 	for _, s := range e.Shots {
-		e.P.Model.AccumulateShot(e.Dose, s, 1)
+		e.accBuf = e.P.Model.AccumulateShotBuf(e.Dose, s, 1, e.accBuf)
 	}
 	e.rebuildState()
 	if e.check {
@@ -587,7 +670,7 @@ func (e *Eval) applyShot(s geom.Rect, sign float64) {
 		return
 	}
 	e.retireSpan(i0, j0, i1, j1)
-	e.P.Model.AccumulateShot(e.Dose, s, sign)
+	e.accBuf = e.P.Model.AccumulateShotBuf(e.Dose, s, sign, e.accBuf)
 	e.restoreSpan(i0, j0, i1, j1)
 	e.finishMutation(2 * (i1 - i0 + 1) * (j1 - j0 + 1))
 }
@@ -769,14 +852,20 @@ func (e *Eval) DeltaCost(i int, repl geom.Rect) float64 {
 }
 
 // edgeTables sizes the scratch tables for nc components over an
-// nx × ny union box, reusing the evaluator's backing buffer.
+// nx × ny union box, reusing the evaluator's backing buffer (grown
+// through the arena so a closed evaluator donates it back).
 func (e *Eval) edgeTables(nc, nx, ny int) *edgeTabs {
 	need := 2 * nc * (nx + ny)
 	if cap(e.buf) < need {
-		e.buf = make([]float64, need)
+		if a := e.arena; a != nil {
+			a.putF32(e.buf)
+			e.buf = a.getF32(need)
+		} else {
+			e.buf = make([]float32, need)
+		}
 	}
 	buf := e.buf[:need]
-	carve := func(n int) []float64 {
+	carve := func(n int) []float32 {
 		s := buf[:n:n]
 		buf = buf[n:]
 		return s
@@ -822,15 +911,22 @@ func (e *Eval) moveScan(old, repl geom.Rect, commit bool) float64 {
 	ui0, uj0 = g.ClampX(ui0), g.ClampY(uj0)
 	ui1, uj1 = g.ClampX(ui1), g.ClampY(uj1)
 
-	// per-component 1D edge tables over the union box: O(W+H) profile
-	// evaluations up front make the area scans pure multiply-adds
+	// per-component 1D edge tables over the union box: O(W+H) float32
+	// strip-kernel fills up front make the area scans pure widening
+	// multiply-adds (float32 loads, float64 accumulation)
 	nc := model.Components()
 	tab := e.edgeTables(nc, ui1-ui0+1, uj1-uj0+1)
 	for c := 0; c < nc; c++ {
-		model.EdgeProfiles(tab.exOld[c], c, g.X0, g.Pitch, ui0, old.X0, old.X1)
-		model.EdgeProfiles(tab.exNew[c], c, g.X0, g.Pitch, ui0, repl.X0, repl.X1)
-		model.EdgeProfiles(tab.eyOld[c], c, g.Y0, g.Pitch, uj0, old.Y0, old.Y1)
-		model.EdgeProfiles(tab.eyNew[c], c, g.Y0, g.Pitch, uj0, repl.Y0, repl.Y1)
+		model.EdgeProfiles32(tab.exOld[c], c, g.X0, g.Pitch, ui0, old.X0, old.X1)
+		model.EdgeProfiles32(tab.exNew[c], c, g.X0, g.Pitch, ui0, repl.X0, repl.X1)
+		model.EdgeProfiles32(tab.eyOld[c], c, g.Y0, g.Pitch, uj0, old.Y0, old.Y1)
+		model.EdgeProfiles32(tab.eyNew[c], c, g.Y0, g.Pitch, uj0, repl.Y0, repl.Y1)
+	}
+	exO0, exN0 := tab.exOld[0], tab.exNew[0]
+	exO1, exN1 := tab.exOld[1], tab.exNew[1]
+	w0, w1 := model.Weight(0), 0.0
+	if nc == 2 {
+		w1 = model.Weight(1)
 	}
 
 	rho := p.Params.Rho
@@ -843,6 +939,16 @@ func (e *Eval) moveScan(old, repl geom.Rect, commit bool) float64 {
 		for j := j0; j <= j1; j++ {
 			jo := j - uj0
 			base := j * g.W
+			// hoist the weighted row factors; outside the changed strips
+			// eyOld == eyNew and exOld == exNew bit-for-bit (the strip
+			// kernel's exactness contract), so dI is exactly zero there
+			eyO0 := w0 * float64(tab.eyOld[0][jo])
+			eyN0 := w0 * float64(tab.eyNew[0][jo])
+			var eyO1, eyN1 float64
+			if nc == 2 {
+				eyO1 = w1 * float64(tab.eyOld[1][jo])
+				eyN1 = w1 * float64(tab.eyNew[1][jo])
+			}
 			for i := i0; i <= i1; i++ {
 				k := base + i
 				cls := p.Class[k]
@@ -850,10 +956,9 @@ func (e *Eval) moveScan(old, repl geom.Rect, commit bool) float64 {
 					continue
 				}
 				io := i - ui0
-				dI := 0.0
-				for c := 0; c < nc; c++ {
-					dI += model.Weight(c) * (tab.exNew[c][io]*tab.eyNew[c][jo] -
-						tab.exOld[c][io]*tab.eyOld[c][jo])
+				dI := float64(exN0[io])*eyN0 - float64(exO0[io])*eyO0
+				if nc == 2 {
+					dI += float64(exN1[io])*eyN1 - float64(exO1[io])*eyO1
 				}
 				if dI == 0 {
 					continue

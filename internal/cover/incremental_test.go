@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"maskfrac/internal/ebeam"
 	"maskfrac/internal/geom"
 )
 
@@ -69,6 +70,10 @@ func checkAgainstScratch(t *testing.T, e *Eval, context string) {
 // 60 sequences per model this covers 120 random mutation sequences.
 func TestEvalPropertyIncrementalMatchesScratch(t *testing.T) {
 	const side = 60.0
+	// also verify every float32 strip-kernel fill the sequences trigger
+	// against the float64 reference (panics with the first diverging
+	// strip coordinate if EdgeProfiles32 drifts past ProfileTol32)
+	defer ebeam.SetProfileCheck(ebeam.SetProfileCheck(true))
 	for name, params := range propParams() {
 		t.Run(name, func(t *testing.T) {
 			p, err := NewProblem(square(side), params)

@@ -27,7 +27,10 @@
 package ebeam
 
 import (
+	"fmt"
 	"math"
+	"os"
+	"sync/atomic"
 
 	"maskfrac/internal/geom"
 	"maskfrac/internal/raster"
@@ -37,11 +40,45 @@ import (
 // each component's edge profile.
 const lutCells = 4096
 
+// ProfileTol32 is the documented agreement tolerance between the
+// float32 strip kernels (EdgeProfiles32) and the float64 reference path
+// (EdgeProfiles): absolute, on edge-factor values in [-1, 1]. The
+// float32 LUT stores values rounded from the float64 table (≤ 2⁻²⁴
+// each) and the interpolation spends ~3 float32 operations per sample,
+// so the difference of two profiles stays below ~1e-6; 1e-5 — about
+// 84 ULP of float32 at full scale — leaves an order of magnitude of
+// slack. The strip cross-check and the randomized property suite both
+// assert against this bound.
+const ProfileTol32 = 1e-5
+
+// profileCheck enables the float32-vs-float64 strip cross-check inside
+// EdgeProfiles32: every filled strip is re-derived on the float64
+// reference path and the first sample diverging by more than
+// ProfileTol32 panics with its strip coordinates. The process default
+// follows MASKFRAC_EVAL_CHECK (shared with cover.Eval's cross-check
+// mode); tests flip it with SetProfileCheck.
+var profileCheck atomic.Bool
+
+func init() {
+	profileCheck.Store(os.Getenv("MASKFRAC_EVAL_CHECK") != "")
+}
+
+// SetProfileCheck toggles the float32 strip kernel cross-check
+// process-wide and returns the previous setting. When enabled, every
+// EdgeProfiles32 strip is verified sample-by-sample against the float64
+// reference within ProfileTol32, panicking with the first diverging
+// strip coordinate. Meant for tests and debugging: it multiplies the
+// cost of every strip fill.
+func SetProfileCheck(on bool) (prev bool) {
+	return profileCheck.Swap(on)
+}
+
 // component is one Gaussian term of the point spread function.
 type component struct {
 	sigma  float64
 	weight float64
-	lut    []float64 // P sampled on [-3σ, 3σ]
+	lut    []float64 // P sampled on [-3σ, 3σ]: the float64 reference
+	lut32  []float32 // the same table rounded to float32: the fast path
 	step   float64   // LUT sample spacing in nm
 }
 
@@ -88,13 +125,16 @@ func NewDoubleGaussian(alpha, beta, eta float64) *Model {
 	return m
 }
 
-// newComponent builds one Gaussian term with its LUT.
+// newComponent builds one Gaussian term with its LUTs: the float64
+// reference table and its float32 rounding used by the strip kernels.
 func newComponent(sigma, weight float64) component {
 	c := component{sigma: sigma, weight: weight, step: 6 * sigma / lutCells}
 	c.lut = make([]float64, lutCells+1)
+	c.lut32 = make([]float32, lutCells+1)
 	for i := range c.lut {
 		d := -3*sigma + float64(i)*c.step
 		c.lut[i] = 0.5 * (1 + math.Erf(d/sigma))
+		c.lut32[i] = float32(c.lut[i])
 	}
 	return c
 }
@@ -204,16 +244,134 @@ func (m *Model) ShotIntensity(s geom.Rect, p geom.Point) float64 {
 // EdgeProfiles fills dst[i] with component c's edge factor
 // E_c(t; a, b) = P_c(t−a) − P_c(t−b) sampled at the centers of pixel
 // indices i0, i0+1, … along one grid axis with origin t0 and the given
-// pitch (dst[i] is the value at pixel index i0+i). It is the 1D
-// precomputation shared by AccumulateShot and the incremental
-// evaluator's strip scans: filling both axes once makes a box or strip
-// update O(W+H) profile evaluations plus a multiply-add per visited
-// pixel, instead of per-pixel LUT interpolation.
+// pitch (dst[i] is the value at pixel index i0+i).
+//
+// This is the float64 REFERENCE path: the production strip kernels are
+// EdgeProfiles32, and this table is what the MASKFRAC_EVAL_CHECK strip
+// cross-check re-derives them against. The sample position depends only
+// on the absolute pixel index i0+i, so overlapping fills (a shot's
+// support box vs a move's union box) produce bit-identical values.
 func (m *Model) EdgeProfiles(dst []float64, c int, t0, pitch float64, i0 int, a, b float64) {
 	comp := &m.comps[c]
 	for i := range dst {
 		t := t0 + (float64(i0+i)+0.5)*pitch
 		dst[i] = comp.profile(t-a) - comp.profile(t-b)
+	}
+}
+
+// EdgeProfiles32 is the float32 strip kernel behind the evaluator hot
+// path: it fills dst[i] with component c's edge factor
+// E_c(t; a, b) = P_c(t−a) − P_c(t−b), like EdgeProfiles, but reads the
+// float32 LUT and runs strip-mined inner loops. Because the edge
+// profile is a clamped ramp, each edge splits the strip into three
+// contiguous segments — a constant prefix, a short LUT-interpolated
+// ramp (~6σ/pitch samples), and a constant suffix — so the bulk of a
+// wide strip is a branch-free constant fill and only the ramp pays for
+// interpolation, with no per-sample clamp tests in either loop.
+//
+// Exactness contract: dst[i] is a deterministic function of the
+// absolute pixel index i0+i and the edge pair (a, b) alone — the same
+// sample filled through any (i0, len) window yields the identical
+// float32 bits, which is what lets the incremental evaluator's strip
+// updates cancel a shot's accumulated dose exactly. Values agree with
+// the float64 reference within ProfileTol32; when SetProfileCheck (or
+// MASKFRAC_EVAL_CHECK) is on, every fill is verified against it and
+// panics with the first diverging strip coordinate.
+func (m *Model) EdgeProfiles32(dst []float32, c int, t0, pitch float64, i0 int, a, b float64) {
+	comp := &m.comps[c]
+	comp.applyProfile32(dst, t0, pitch, i0, a, +1)
+	comp.applyProfile32(dst, t0, pitch, i0, b, -1)
+	if profileCheck.Load() {
+		m.checkStrip32(dst, c, t0, pitch, i0, a, b)
+	}
+}
+
+// applyProfile32 adds sign × P_c(t−e) to dst over the strip, with
+// t = t0 + (i0+i+0.5)·pitch. sign=+1 lays down the leading edge
+// (overwriting dst), sign=−1 subtracts the trailing edge.
+func (c *component) applyProfile32(dst []float32, t0, pitch float64, i0 int, e float64, sign int) {
+	n := len(dst)
+	s3 := 3 * c.sigma
+	step := c.step
+	// The LUT coordinate of sample m (absolute index) is
+	//	u(m) = (t0 + (m+0.5)·pitch − e + 3σ) / step,
+	// increasing in m (pitch > 0). Samples with u ∈ [1, lutCells−1]
+	// interpolate without clamp tests; the conservative one-cell margin
+	// keeps k and k+1 in range even at the rounded boundaries.
+	mLo := int(math.Ceil((1*step-s3+e-t0)/pitch - 0.5))
+	mHi := int(math.Floor((float64(lutCells-1)*step-s3+e-t0)/pitch - 0.5))
+	lo := min(max(mLo-i0, 0), n)
+	hi := min(max(mHi-i0+1, lo), n)
+
+	lut := c.lut32
+	// constant prefix/suffix plus the few clamp-boundary samples
+	for i := 0; i < lo; i++ {
+		applySample32(dst, lut, i, t0, pitch, i0, e, s3, step, sign)
+	}
+	for i := hi; i < n; i++ {
+		applySample32(dst, lut, i, t0, pitch, i0, e, s3, step, sign)
+	}
+	// the ramp: branch-free interpolation, k ∈ [0, lutCells−1] by the
+	// margin above so only the slice bounds checks remain
+	ramp := dst[lo:hi]
+	if sign > 0 {
+		for i := range ramp {
+			u := (t0 + (float64(i0+lo+i)+0.5)*pitch - e + s3) / step
+			k := int(u)
+			f := float32(u - float64(k))
+			ramp[i] = lut[k] + f*(lut[k+1]-lut[k])
+		}
+	} else {
+		for i := range ramp {
+			u := (t0 + (float64(i0+lo+i)+0.5)*pitch - e + s3) / step
+			k := int(u)
+			f := float32(u - float64(k))
+			ramp[i] -= lut[k] + f*(lut[k+1]-lut[k])
+		}
+	}
+}
+
+// applySample32 handles one clamp-region sample of applyProfile32 with
+// the full branchy profile evaluation; it computes the identical
+// formula as the ramp loop when u happens to land in range, so segment
+// boundaries never change a sample's value.
+func applySample32(dst []float32, lut []float32, i int, t0, pitch float64, i0 int, e, s3, step float64, sign int) {
+	u := (t0 + (float64(i0+i)+0.5)*pitch - e + s3) / step
+	var v float32
+	switch {
+	case u <= 0:
+		v = 0
+	case u >= lutCells:
+		v = 1
+	default:
+		k := int(u)
+		if k >= lutCells {
+			k = lutCells - 1
+		}
+		f := float32(u - float64(k))
+		v = lut[k] + f*(lut[k+1]-lut[k])
+	}
+	if sign > 0 {
+		dst[i] = v
+	} else {
+		dst[i] -= v
+	}
+}
+
+// checkStrip32 re-derives a float32 strip on the float64 reference path
+// and panics with the first diverging sample's strip coordinates.
+func (m *Model) checkStrip32(dst []float32, c int, t0, pitch float64, i0 int, a, b float64) {
+	comp := &m.comps[c]
+	for i, got := range dst {
+		t := t0 + (float64(i0+i)+0.5)*pitch
+		want := comp.profile(t-a) - comp.profile(t-b)
+		if math.Abs(float64(got)-want) > ProfileTol32 {
+			panic(fmt.Sprintf(
+				"ebeam: float32 strip kernel diverged from float64 reference: "+
+					"component %d (σ=%g) pixel %d (t=%g, edges a=%g b=%g): got %v want %v (|Δ|=%.3g > %g)",
+				c, comp.sigma, i0+i, t, a, b, got, want,
+				math.Abs(float64(got)-want), ProfileTol32))
+		}
 	}
 }
 
@@ -230,39 +388,63 @@ func (m *Model) SupportBox(g raster.Grid, s geom.Rect) (i0, j0, i1, j1 int) {
 // AccumulateShot adds sign × Is to the field f over the shot's support
 // box. sign is +1 to add a shot and −1 to remove it (fractional values
 // express variable dose). The separable form makes each component
-// O(W + H + box area) with two 1D profile passes.
+// O(W + H + box area) with two 1D profile passes. Allocates the 1D
+// tables per call; hot paths should use AccumulateShotBuf with a reused
+// scratch buffer.
 func (m *Model) AccumulateShot(f *raster.Field, s geom.Rect, sign float64) {
+	m.AccumulateShotBuf(f, s, sign, nil)
+}
+
+// AccumulateShotBuf is AccumulateShot drawing its per-axis edge tables
+// from scratch (grown as needed) instead of allocating; it returns the
+// possibly-grown buffer for reuse. The dose added for a given shot is a
+// deterministic function of the shot and the grid — independent of the
+// buffer passed — so an add followed by a remove cancels to float64
+// rounding exactly as with fresh allocations.
+//
+// The edge tables are the float32 strip kernels (EdgeProfiles32); the
+// per-row accumulation widens each product to float64 before adding to
+// the field, so the float32 rounding lives only in the table values,
+// shared by every path that scores or commits the same shot.
+func (m *Model) AccumulateShotBuf(f *raster.Field, s geom.Rect, sign float64, scratch []float32) []float32 {
 	g := f.Grid
 	i0, j0, i1, j1 := m.SupportBox(g, s)
 	if i1 < i0 || j1 < j0 {
-		return
+		return scratch
 	}
 	width := i1 - i0 + 1
-	ex := make([]float64, width)
-	ey := make([]float64, j1-j0+1)
+	height := j1 - j0 + 1
+	if cap(scratch) < width+height {
+		scratch = make([]float32, width+height)
+	}
+	ex := scratch[:width]
+	ey := scratch[width : width+height]
 	for c := range m.comps {
-		m.EdgeProfiles(ex, c, g.X0, g.Pitch, i0, s.X0, s.X1)
-		m.EdgeProfiles(ey, c, g.Y0, g.Pitch, j0, s.Y0, s.Y1)
+		m.EdgeProfiles32(ex, c, g.X0, g.Pitch, i0, s.X0, s.X1)
+		m.EdgeProfiles32(ey, c, g.Y0, g.Pitch, j0, s.Y0, s.Y1)
 		w := sign * m.comps[c].weight
 		for j := j0; j <= j1; j++ {
-			rowW := w * ey[j-j0]
+			rowW := w * float64(ey[j-j0])
 			if rowW == 0 {
 				continue
 			}
-			row := f.V[j*g.W : (j+1)*g.W]
-			for i := i0; i <= i1; i++ {
-				row[i] += rowW * ex[i-i0]
+			row := f.V[j*g.W+i0 : j*g.W+i1+1]
+			exr := ex[:len(row)]
+			for i := range row {
+				row[i] += rowW * float64(exr[i])
 			}
 		}
 	}
+	return scratch
 }
 
 // DoseMap returns the total intensity field Itot = Σ Is over grid g for
 // the given shots.
 func (m *Model) DoseMap(g raster.Grid, shots []geom.Rect) *raster.Field {
 	f := raster.NewField(g)
+	var scratch []float32
 	for _, s := range shots {
-		m.AccumulateShot(f, s, 1)
+		scratch = m.AccumulateShotBuf(f, s, 1, scratch)
 	}
 	return f
 }

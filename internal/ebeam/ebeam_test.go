@@ -166,10 +166,13 @@ func TestAccumulateShotMatchesDirect(t *testing.T) {
 	s := geom.Rect{X0: 20, Y0: 25, X1: 40, Y1: 35}
 	f := raster.NewField(g)
 	m.AccumulateShot(f, s, 1)
+	// the accumulate path reads the float32 strip kernels, the point
+	// path the float64 reference: agreement is bounded by ProfileTol32
+	// per axis factor, ~2e-6 on the 2D product
 	for j := 0; j < g.H; j += 3 {
 		for i := 0; i < g.W; i += 3 {
 			want := m.ShotIntensity(s, g.Center(i, j))
-			if got := f.At(i, j); math.Abs(got-want) > 1e-9 {
+			if got := f.At(i, j); math.Abs(got-want) > 2*ProfileTol32 {
 				t.Errorf("(%d,%d): %v vs %v", i, j, got, want)
 			}
 		}
@@ -204,7 +207,7 @@ func TestDoseMapSuperposition(t *testing.T) {
 	p := geom.Pt(22.5, 17.5)
 	want := m.ShotIntensity(shots[0], p) + m.ShotIntensity(shots[1], p)
 	i, j := g.PixelOf(p)
-	if got := total.At(i, j); math.Abs(got-want) > 1e-9 {
+	if got := total.At(i, j); math.Abs(got-want) > 4*ProfileTol32 {
 		t.Errorf("superposition: %v vs %v", got, want)
 	}
 }
@@ -330,10 +333,11 @@ func TestDoubleGaussianAccumulateMatchesPoint(t *testing.T) {
 	s := geom.Rect{X0: 25, Y0: 30, X1: 55, Y1: 50}
 	f := raster.NewField(g)
 	m.AccumulateShot(f, s, 1)
+	// float32 strip kernels vs the float64 point path: see ProfileTol32
 	for j := 0; j < g.H; j += 7 {
 		for i := 0; i < g.W; i += 7 {
 			want := m.ShotIntensity(s, g.Center(i, j))
-			if got := f.At(i, j); math.Abs(got-want) > 1e-9 {
+			if got := f.At(i, j); math.Abs(got-want) > 2*ProfileTol32 {
 				t.Fatalf("(%d,%d): %v vs %v", i, j, got, want)
 			}
 		}

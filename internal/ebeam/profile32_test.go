@@ -1,0 +1,96 @@
+package ebeam
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestEdgeProfiles32MatchesReference is the randomized strip property
+// test for the float32 kernel: for both model shapes it samples random
+// strip geometries (origin, pitch, window offset/length, edge pair) and
+// asserts every sample agrees with the float64 EdgeProfiles reference
+// within ProfileTol32, reporting the first diverging strip coordinate.
+func TestEdgeProfiles32MatchesReference(t *testing.T) {
+	models := map[string]*Model{
+		"single": NewModel(12),
+		"double": NewDoubleGaussian(10, 120, 0.5),
+	}
+	for name, m := range models {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(8))
+			ref := make([]float64, 0, 512)
+			got := make([]float32, 0, 512)
+			for seq := 0; seq < 120; seq++ {
+				c := rng.Intn(m.Components())
+				sigma := m.comps[c].sigma
+				t0 := (rng.Float64() - 0.5) * 200
+				pitch := 0.5 + rng.Float64()*2*sigma // sub-pixel ramps through multi-σ pitches
+				i0 := rng.Intn(64) - 32
+				n := 1 + rng.Intn(512)
+				// place edges so strips cover interior, clamp boundary,
+				// and fully-saturated cases
+				a := t0 + (rng.Float64()*float64(n)-8)*pitch
+				b := a + rng.Float64()*6*sigma
+				ref = append(ref[:0], make([]float64, n)...)
+				got = append(got[:0], make([]float32, n)...)
+				m.EdgeProfiles(ref, c, t0, pitch, i0, a, b)
+				m.EdgeProfiles32(got, c, t0, pitch, i0, a, b)
+				for i := range ref {
+					if d := math.Abs(float64(got[i]) - ref[i]); d > ProfileTol32 {
+						t.Fatalf("seq %d: component %d (σ=%g) strip t0=%g pitch=%g i0=%d edges (%g,%g): "+
+							"first divergence at pixel %d (t=%g): float32 %v vs float64 %v (|Δ|=%.3g > %g)",
+							seq, c, sigma, t0, pitch, i0, a, b,
+							i0+i, t0+(float64(i0+i)+0.5)*pitch, got[i], ref[i], d, ProfileTol32)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEdgeProfiles32WindowExactness pins the kernel's exactness
+// contract: the same absolute pixel filled through two different
+// (i0, len) windows must produce bit-identical float32 values, since
+// the incremental evaluator relies on add/remove strips cancelling a
+// shot's accumulated dose exactly.
+func TestEdgeProfiles32WindowExactness(t *testing.T) {
+	m := NewDoubleGaussian(10, 120, 0.5)
+	rng := rand.New(rand.NewSource(9))
+	for seq := 0; seq < 60; seq++ {
+		c := rng.Intn(m.Components())
+		t0 := (rng.Float64() - 0.5) * 100
+		pitch := 0.5 + rng.Float64()*10
+		a := t0 + rng.Float64()*80
+		b := a + rng.Float64()*60
+		// a wide window and a shifted, shorter one overlapping it
+		wide := make([]float32, 400)
+		m.EdgeProfiles32(wide, c, t0, pitch, -50, a, b)
+		off := rng.Intn(200)
+		n := 1 + rng.Intn(400-off)
+		sub := make([]float32, n)
+		m.EdgeProfiles32(sub, c, t0, pitch, -50+off, a, b)
+		for i := range sub {
+			if sub[i] != wide[off+i] {
+				t.Fatalf("seq %d: pixel %d differs across windows: %v (sub) vs %v (wide)",
+					seq, -50+off+i, sub[i], wide[off+i])
+			}
+		}
+	}
+}
+
+// TestSetProfileCheck verifies the toggle semantics and that a checked
+// fill passes cleanly (a divergence would panic inside EdgeProfiles32).
+func TestSetProfileCheck(t *testing.T) {
+	prev := SetProfileCheck(true)
+	defer SetProfileCheck(prev)
+	m := NewDoubleGaussian(10, 120, 0.5)
+	dst := make([]float32, 256)
+	m.EdgeProfiles32(dst, 1, -30, 1.25, -7, 3, 95)
+	if on := SetProfileCheck(false); !on {
+		t.Fatal("SetProfileCheck(true) did not stick")
+	}
+	if on := SetProfileCheck(prev); on {
+		t.Fatal("SetProfileCheck(false) did not stick")
+	}
+}

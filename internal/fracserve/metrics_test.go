@@ -120,6 +120,8 @@ func TestE2EMetricsMoveAfterFracture(t *testing.T) {
 		`fracd_solve_duration_seconds_count{method="proto-eda"}`,
 		"fracd_eval_mutations_total", "fracd_eval_pixels_mutated_total",
 		"fracd_eval_pixels_scored_total", "fracd_eval_pixels_per_mutation_count",
+		"fracd_eval_arena_hits_total", "fracd_eval_arena_misses_total",
+		"fracd_eval_arena_bytes_reused_total", "fracd_engine_steals_total",
 	} {
 		metricValue(t, after, name) // fatals if absent
 	}
@@ -127,6 +129,13 @@ func TestE2EMetricsMoveAfterFracture(t *testing.T) {
 	// counter (and the observer-fed histogram) must have moved
 	if got := metricValue(t, after, "fracd_eval_mutations_total"); got == "0" {
 		t.Error("fracd_eval_mutations_total did not move during a solve")
+	}
+	// the solve churned evaluators through the problem's arena, so
+	// buffer acquisitions (hits or misses) must be visible
+	if got := metricValue(t, after, "fracd_eval_arena_misses_total"); got == "0" {
+		if got := metricValue(t, after, "fracd_eval_arena_hits_total"); got == "0" {
+			t.Error("arena counters did not move during a solve")
+		}
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 
 	"maskfrac"
 	"maskfrac/internal/cover"
+	"maskfrac/internal/fracture/engine"
 	"maskfrac/internal/geom"
 	"maskfrac/internal/maskio"
 	"maskfrac/internal/telemetry"
@@ -245,6 +246,18 @@ func (s *Server) registerMetrics() {
 	r.CounterFunc("fracd_eval_pixels_scored_total",
 		"pixels scanned scoring DeltaCost candidates (process-wide)",
 		func() float64 { return float64(cover.EvalCounters().PixelsScored) })
+	r.CounterFunc("fracd_eval_arena_hits_total",
+		"evaluator buffer acquisitions served from an arena free list (process-wide)",
+		func() float64 { return float64(cover.ArenaCounters().Hits) })
+	r.CounterFunc("fracd_eval_arena_misses_total",
+		"evaluator buffer acquisitions that allocated fresh memory (process-wide)",
+		func() float64 { return float64(cover.ArenaCounters().Misses) })
+	r.CounterFunc("fracd_eval_arena_bytes_reused_total",
+		"bytes of evaluator buffers reused from arena free lists (process-wide)",
+		func() float64 { return float64(cover.ArenaCounters().BytesReused) })
+	r.CounterFunc("fracd_engine_steals_total",
+		"engine region solves executed by work-stealing helper goroutines (process-wide)",
+		func() float64 { return float64(engine.StealCount()) })
 	evalPx := r.Histogram("fracd_eval_pixels_per_mutation",
 		"pixels scanned committing one evaluator mutation",
 		[]float64{64, 256, 1024, 4096, 16384, 65536, 262144})

@@ -118,8 +118,10 @@ type Result struct {
 }
 
 // Solve runs the decompose–solve–stitch pipeline: plan the independent
-// regions, solve each as its own subproblem on the bounded worker pool,
-// and merge the shot lists in region order. A single-region instance
+// regions, solve each as its own subproblem — the caller plus bounded
+// pool-token helpers work-steal regions off a size-sorted queue,
+// largest first — and merge the shot lists in region order. A
+// single-region instance
 // (the common case: one shape, or a main feature whose SRAFs all sit
 // within interaction range) is solved directly on the original problem
 // with no subproblem construction. When ctx carries a telemetry trace,
@@ -181,6 +183,9 @@ func Solve(ctx context.Context, p *cover.Problem, cfg Config) (*Result, error) {
 			errs[i] = fmt.Errorf("engine: region %d: %w", i, err)
 			return
 		}
+		// return the subproblem's evaluator buffers to the process-wide
+		// arena pool once the region is solved
+		defer sub.Recycle()
 		sol, err := fn(rctx, sub, cfg.Options)
 		if err != nil {
 			errs[i] = fmt.Errorf("engine: region %d: %w", i, err)
@@ -196,21 +201,35 @@ func Solve(ctx context.Context, p *cover.Problem, cfg Config) (*Result, error) {
 		}
 		span.Set("shots", len(sol.Shots))
 	}
-	var wg sync.WaitGroup
-	for i := range regions {
-		if pool.TryAcquire() {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				defer pool.Release()
-				solveRegion(i)
-			}(i)
-		} else {
-			// no token free: run on the calling goroutine, which keeps
-			// the engine making progress with zero extra concurrency
+	// Work-stealing over the size-sorted region queue: the caller and
+	// every pool-token helper loop popping the largest remaining region
+	// (LPT order), so workers that finish small regions immediately
+	// steal the next one instead of being assigned a fixed share. With
+	// no token free the caller drains the whole queue inline — the
+	// engine always makes progress with zero extra concurrency.
+	queue := newRegionQueue(p, regions)
+	drain := func(stealing bool) {
+		for {
+			i, ok := queue.pop()
+			if !ok {
+				return
+			}
+			if stealing {
+				engineStealsTotal.Add(1)
+			}
 			solveRegion(i)
 		}
 	}
+	var wg sync.WaitGroup
+	for extra := 0; extra < len(regions)-1 && pool.TryAcquire(); extra++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer pool.Release()
+			drain(true)
+		}()
+	}
+	drain(false)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {

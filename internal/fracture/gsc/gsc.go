@@ -39,6 +39,7 @@ func Fracture(p *cover.Problem, opt Options) *Result {
 	}
 	cands := shotdict.Candidates(p)
 	e := cover.NewEval(p, nil)
+	defer e.Close()
 	fixup.GreedyCover(p, e, cands, opt.OffPenalty, opt.MaxShots)
 	// second chance with a looser penalty, then box patching
 	fixup.GreedyCover(p, e, cands, 1, opt.MaxShots)

@@ -21,6 +21,7 @@ import (
 func refine(ctx context.Context, p *cover.Problem, shots []geom.Rect, opt Options) ([]geom.Rect, int) {
 	span := telemetry.ActiveSpan(ctx).Child("mbf.refine")
 	e := cover.NewEval(p, shots)
+	defer e.Close()
 	best := e.SnapshotShots()
 	bestFail := e.Stats().Fail()
 	if bestFail == 0 {
@@ -101,6 +102,7 @@ func polish(ctx context.Context, p *cover.Problem, shots []geom.Rect) []geom.Rec
 	ctx, span := telemetry.StartSpan(ctx, "mbf.polish")
 	defer span.End()
 	e := cover.NewEval(p, shots)
+	defer func() { e.Close() }()
 	best := e.SnapshotShots()
 	bestFail := e.Stats().Fail()
 	for iter := 0; iter < 30 && bestFail > 0; iter++ {
@@ -113,7 +115,9 @@ func polish(ctx context.Context, p *cover.Problem, shots []geom.Rect) []geom.Rec
 			bestFail = f
 			best = e.SnapshotShots()
 		} else if f > bestFail {
-			// diverging: restart from the best state
+			// diverging: restart from the best state, recycling the
+			// stale evaluator's buffers into the replacement
+			e.Close()
 			e = cover.NewEval(p, best)
 		}
 	}
@@ -130,6 +134,7 @@ func postCleanup(ctx context.Context, p *cover.Problem, shots []geom.Rect, opt O
 	ctx, span := telemetry.StartSpan(ctx, "mbf.cleanup")
 	defer span.End()
 	e := cover.NewEval(p, shots)
+	defer func() { e.Close() }()
 	baseStats := e.Stats()
 	baseFail := baseStats.Fail()
 	baseCost := baseStats.Cost
@@ -154,7 +159,10 @@ func postCleanup(ctx context.Context, p *cover.Problem, shots []geom.Rect, opt O
 		candidate := cover.NewEval(p, e.SnapshotShots())
 		mergeShots(candidate, opt)
 		if st := candidate.Stats(); st.Fail() <= baseFail && st.Cost <= baseCost+1e-9 && len(candidate.Shots) < len(e.Shots) {
+			e.Close()
 			e = candidate
+		} else {
+			candidate.Close()
 		}
 	}
 	return removeAndRepair(ctx, p, e.SnapshotShots(), baseFail)
@@ -180,9 +188,13 @@ func removeAndRepair(ctx context.Context, p *cover.Problem, shots []geom.Rect, b
 			trial = append(trial, cur[i+1:]...)
 			e := cover.NewEval(p, trial)
 			fixup.EdgeAdjustCtx(ctx, p, e, 30)
-			if e.Stats().Fail() <= baseFail {
+			repaired := e.Stats().Fail() <= baseFail
+			if repaired {
 				cur = e.SnapshotShots()
 				improved = true
+			}
+			e.Close()
+			if repaired {
 				break
 			}
 		}
@@ -486,6 +498,7 @@ func mergeShots(e *cover.Eval, opt Options) {
 // benchmarks.
 func MergePass(p *cover.Problem, shots []geom.Rect) []geom.Rect {
 	e := cover.NewEval(p, shots)
+	defer e.Close()
 	mergeShots(e, Options{}.withDefaults(p))
 	return e.SnapshotShots()
 }

@@ -51,6 +51,7 @@ func Fracture(p *cover.Problem, opt Options) *Result {
 		}
 	}
 	e := cover.NewEval(p, nil)
+	defer e.Close()
 	sat := make([]float64, (g.W+1)*(g.H+1))
 	for len(e.Shots) < opt.MaxShots {
 		buildSAT(res, sat)

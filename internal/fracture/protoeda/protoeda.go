@@ -53,6 +53,7 @@ func Fracture(p *cover.Problem, opt Options) *Result {
 	e := cover.NewEval(p, shots)
 	fixup.EdgeAdjust(p, e, opt.CleanupIters)
 	shots = mergePass(p, e.SnapshotShots())
+	e.Close()
 	shots = dropRedundant(p, shots)
 	return &Result{Shots: shots, Stats: p.Evaluate(shots)}
 }
@@ -151,6 +152,7 @@ func mergePass(p *cover.Problem, shots []geom.Rect) []geom.Rect {
 // partition rectangles redundant.
 func dropRedundant(p *cover.Problem, shots []geom.Rect) []geom.Rect {
 	e := cover.NewEval(p, shots)
+	defer e.Close()
 	base := e.Stats()
 	for {
 		removed := false

@@ -9,12 +9,15 @@
 # BENCH_PATTERN defaults to the quick cache benchmarks, the
 # decompose–solve–stitch engine benchmark and the incremental-evaluator
 # refinement benchmark (the full Table 2 solver benchmarks take minutes
-# each); pass '.' to run everything. BENCHTIME defaults to 1x.
+# each); pass '.' to run everything. BENCHTIME defaults to 1x. Set OUT
+# to override the output filename.
 #
 # BenchmarkEngineRegions compares 1 vs 4 workers on a four-region
 # instance; the speedup scales with available CPUs (a single-CPU
 # machine shows parity, which is the determinism baseline, not a
-# regression).
+# regression). The JSON metadata records GOMAXPROCS, the CPU count and
+# the CPU model so 1-vs-4-worker results are interpretable across
+# builders.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -22,7 +25,12 @@ cd "$(dirname "$0")/.."
 pattern="${1:-BenchmarkShapeCache|BenchmarkBatchCache|BenchmarkEngineRegions|BenchmarkRefine}"
 benchtime="${2:-1x}"
 date="$(date -u +%Y-%m-%d)"
-out="BENCH_${date}.json"
+out="${OUT:-BENCH_${date}.json}"
+
+cpus="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)"
+gomaxprocs="${GOMAXPROCS:-$cpus}"
+cpu_model="$(awk -F': ' '/^model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null || true)"
+[ -n "$cpu_model" ] || cpu_model="unknown"
 
 echo "running benchmarks matching '$pattern' (benchtime $benchtime)..." >&2
 if ! raw="$(go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem ./... 2>&1)"; then
@@ -32,10 +40,13 @@ fi
 echo "$raw" >&2
 
 echo "$raw" | awk -v date="$date" -v gover="$(go version | cut -d' ' -f3)" \
-	-v pattern="$pattern" -v benchtime="$benchtime" '
+	-v pattern="$pattern" -v benchtime="$benchtime" \
+	-v gomaxprocs="$gomaxprocs" -v cpus="$cpus" -v cpu_model="$cpu_model" '
 BEGIN {
 	printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n", date, gover
 	printf "  \"pattern\": \"%s\",\n  \"benchtime\": \"%s\",\n", pattern, benchtime
+	gsub(/\\/, "\\\\", cpu_model); gsub(/"/, "\\\"", cpu_model)
+	printf "  \"gomaxprocs\": %s,\n  \"cpus\": %s,\n  \"cpu_model\": \"%s\",\n", gomaxprocs, cpus, cpu_model
 	printf "  \"benchmarks\": [\n"
 	n = 0
 }

@@ -57,4 +57,16 @@ go test -race -short ./...
 echo "== go test -race -bench Refine (smoke) =="
 go test -race -run '^$' -bench 'BenchmarkRefine' -benchtime 1x .
 
+# the engine benchmark smoke runs the work-stealing region scheduler at
+# -cpu 1 and 4 under the race detector (identical shot lists asserted
+# inside the benchmark), then the ≥2x multicore speedup gate. On
+# builders with fewer than 4 CPUs the gate logs an explicit SKIP — a
+# visible skip, never a silent pass.
+echo "== go test -race -bench EngineRegions -cpu 1,4 (smoke) =="
+go test -race -run '^$' -bench 'BenchmarkEngineRegions' -benchtime 1x -cpu 1,4 .
+
+echo "== go test engine multicore speedup gate (>=2x at 4 workers) =="
+go test -count=1 -run 'TestEngineParallelSpeedup' -v . | grep -E 'SKIP|PASS|FAIL|speedup' || true
+go test -count=1 -run 'TestEngineParallelSpeedup' .
+
 echo "check ok"
