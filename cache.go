@@ -41,6 +41,16 @@ type CacheStats = shapecache.Stats
 // Stats returns a snapshot of the hit/miss/eviction counters and size.
 func (sc *ShapeCache) Stats() CacheStats { return sc.c.Stats() }
 
+// ClassStat is a per-congruence-class frequency record: placement
+// count, solved shot count and canonical bounding box. The stencil
+// planner mines these.
+type ClassStat = shapecache.ClassStat
+
+// TopClasses returns the k highest-placement congruence classes seen by
+// the cache (k <= 0 returns all tracked classes). The records survive
+// LRU eviction of their entries.
+func (sc *ShapeCache) TopClasses(k int) []ClassStat { return sc.c.TopClasses(k) }
+
 // cachedSolution is the per-entry metadata stored next to the
 // canonical-frame shot list.
 type cachedSolution struct {

@@ -8,6 +8,7 @@
 //	fracture -multi -in shapes.msk [-workers N]
 //	fracture -batch -in shapes.msk [-workers N] [-cache 4096]
 //	fracture -server http://host:8337 [-multi] [-trace] ...
+//	fracture -plan -server http://host:8337 [-plan-slots N] [-plan-topk K] [-plan-load-ms MS]
 //
 // -server sends the instance to a running fracd instead of solving
 // in-process; with -trace the caller's trace ID propagates to the
@@ -25,6 +26,10 @@
 // engine clusters them into proximity-independent regions and solves
 // up to -workers regions concurrently, with a result byte-identical to
 // the sequential run.
+//
+// -plan asks the daemon to plan a character-projection stencil from the
+// placement frequencies its shape cache has accumulated (POST /plan)
+// and prints the plan with its modeled write-time savings.
 //
 // -trace records the solver's phase spans and prints the span tree —
 // including the engine's plan/region/stitch phases, one span per
@@ -62,6 +67,11 @@ func main() {
 		verbose = flag.Bool("v", false, "print problem detail (pixel counts, bounds, eval time)")
 		trace   = flag.Bool("trace", false, "record solver phase spans; print the span tree and per-phase timings")
 		server  = flag.String("server", "", "fracture on a running fracd at this base URL instead of in-process")
+
+		plan      = flag.Bool("plan", false, "plan a character-projection stencil from the fracd's cache statistics (requires -server)")
+		planSlots = flag.Int("plan-slots", 0, "stencil character slot budget (0 = server default)")
+		planTopK  = flag.Int("plan-topk", 0, "congruence classes mined as plan candidates (0 = server default)")
+		planLoad  = flag.Float64("plan-load-ms", -1, "stencil load overhead in ms (-1 = server default, 0 = none)")
 	)
 	flag.Parse()
 
@@ -69,6 +79,16 @@ func main() {
 	params.Sigma = *sigma
 	params.Gamma = *gamma
 	params.Lmin = *lmin
+
+	if *plan {
+		if *server == "" {
+			fatal(fmt.Errorf("-plan needs a running daemon's cache statistics; set -server"))
+		}
+		if err := runPlan(*server, *planSlots, *planTopK, *planLoad, *trace); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *batch {
 		if *server != "" {

@@ -148,3 +148,48 @@ func runRemote(url string, targets []maskfrac.Polygon, name string, method maskf
 	}
 	return nil
 }
+
+// runPlan asks a running fracd to plan a character-projection stencil
+// from its shape-cache class statistics (POST /plan) and prints the
+// plan table. loadMS < 0 keeps the server's default stencil load
+// overhead; an explicit 0 prices the plan with none.
+func runPlan(url string, slots, topK int, loadMS float64, trace bool) error {
+	ctx := context.Background()
+	var root *telemetry.Span
+	if trace {
+		ctx, root = telemetry.WithTrace(ctx, "fracture plan")
+	}
+	cl := fracserve.NewClient(url)
+	req := &fracserve.PlanRequest{TopK: topK, ReturnTrace: trace}
+	if slots > 0 || loadMS >= 0 {
+		req.CP = &fracserve.CPWire{Slots: slots}
+		if loadMS >= 0 {
+			req.CP.LoadOverheadMS = &loadMS
+		}
+	}
+	cctx, call := telemetry.StartSpan(ctx, "fracserve.plan")
+	call.Set("url", url)
+	resp, err := cl.Plan(cctx, req)
+	if err != nil {
+		call.End()
+		return err
+	}
+	if resp.Trace != nil {
+		call.AdoptWire(resp.Trace)
+	}
+	call.End()
+	root.End()
+
+	fmt.Printf("stencil plan from %s:\n", url)
+	resp.Plan.WriteReport(os.Stdout)
+	if root != nil {
+		if resp.TraceID != "" {
+			fmt.Printf("\ntrace %s (server keeps it at %s/debug/traces/%s):\n",
+				resp.TraceID, cl.BaseURL, resp.TraceID)
+		} else {
+			fmt.Println("\ntrace:")
+		}
+		root.WriteTree(os.Stdout)
+	}
+	return nil
+}

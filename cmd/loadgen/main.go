@@ -21,10 +21,18 @@
 // every -trace-every'th request. The run ends with the same /clusterz
 // control-plane table that fracd -peers serves.
 //
+// After a soak the report always ends with the projected
+// character-projection savings: the per-class placement statistics the
+// node caches accumulated are mined (cluster TopClasses), a stencil is
+// planned for them, and the write-time reduction it would buy is
+// printed. -plan does the same after a replay, and in both modes adds
+// the full per-class plan table plus a stencil_plan JSON field.
+//
 // Usage:
 //
 //	loadgen -nodes 3 -method proto-eda -cols 8 -rows 8 -json BENCH.json
 //	loadgen -gds mask.gds -method mbf
+//	loadgen -nodes 3 -cols 4 -rows 4 -plan -plan-slots 8
 //	loadgen -soak -nodes 3 -qps 150 -duration 60s -json BENCH-soak.json
 package main
 
@@ -45,6 +53,7 @@ import (
 	"maskfrac/internal/maskio"
 	"maskfrac/internal/shapecache"
 	"maskfrac/internal/shapegen"
+	"maskfrac/internal/stencil"
 	"maskfrac/internal/writecost"
 )
 
@@ -86,6 +95,8 @@ type report struct {
 	Failovers   float64 `json:"failovers"`
 	Coalesced   float64 `json:"client_singleflight_dedup"`
 	RingChanges uint64  `json:"ring_rebalances"`
+
+	StencilPlan *stencil.Plan `json:"stencil_plan,omitempty"`
 }
 
 func main() {
@@ -105,6 +116,9 @@ func main() {
 	window := flag.Duration("window", 10*time.Second, "soak time-series bucket")
 	sloP99 := flag.Duration("slo-p99", 500*time.Millisecond, "soak SLO: per-window p99 objective (0 disables)")
 	traceEvery := flag.Int("trace-every", 64, "soak: trace request 0 and every Nth after (0 disables)")
+	plan := flag.Bool("plan", false, "after the run, mine the cluster and print a character-projection stencil plan")
+	planSlots := flag.Int("plan-slots", 0, "stencil character slot budget (0 = model default)")
+	planLoad := flag.Float64("plan-load-ms", 0, "stencil load overhead in ms (-1 = model default; default 0 suits short runs)")
 	flag.Parse()
 
 	lib, input, err := loadLibrary(*gds, *cols, *rows)
@@ -148,6 +162,18 @@ func main() {
 		srep.Method = *method
 		srep.Nodes = *nodes
 		printSoakReport(srep)
+		// every soak ends with the projected CP savings the observed
+		// class traffic would buy
+		p, err := minePlan(context.Background(), cl, *planSlots, *planLoad)
+		if err != nil {
+			log.Printf("stencil mine failed: %v", err)
+		} else {
+			srep.StencilPlan = p
+			printPlanSummary(p)
+			if *plan {
+				p.WriteReport(os.Stdout)
+			}
+		}
 		printClusterz(context.Background(), cl)
 		out = srep
 	} else {
@@ -162,6 +188,15 @@ func main() {
 		rep.Method = *method
 		rep.Nodes = *nodes
 		printReport(rep)
+		if *plan {
+			p, err := minePlan(context.Background(), cl, *planSlots, *planLoad)
+			if err != nil {
+				log.Fatalf("stencil mine failed: %v", err)
+			}
+			rep.StencilPlan = p
+			printPlanSummary(p)
+			p.WriteReport(os.Stdout)
+		}
 		out = rep
 	}
 	if *jsonOut != "" {
@@ -174,6 +209,41 @@ func main() {
 		}
 		fmt.Printf("\nreport written to %s\n", *jsonOut)
 	}
+}
+
+// minePlan mines the cluster's congruence-class statistics and plans a
+// character-projection stencil for them. loadMS < 0 keeps the model's
+// default stencil load overhead; loadgen defaults it to 0 because a
+// short replay's beam time never amortizes a production mount cost.
+func minePlan(ctx context.Context, cl *cluster.Client, slots int, loadMS float64) (*stencil.Plan, error) {
+	classes, err := cl.TopClasses(ctx, 0)
+	if err != nil {
+		return nil, err
+	}
+	m := writecost.Default()
+	m.Overhead = 0 // price beam time only, like the replay report
+	if slots > 0 {
+		m.CPSlots = slots
+	}
+	if loadMS >= 0 {
+		m.CPLoadOverhead = time.Duration(loadMS * float64(time.Millisecond))
+	}
+	return stencil.PlanCP(ctx, classes, m), nil
+}
+
+// printPlanSummary is the one-line projected-savings verdict.
+func printPlanSummary(p *stencil.Plan) {
+	r := p.Report
+	fmt.Printf("\nprojected CP stencil savings: %d characters cover %d of %d placements, write %.1f%% faster (mask cost -%.3f%%)\n",
+		len(p.Characters), r.CPPlacements, r.TotalPlacements,
+		100*safeDiv(r.NetSavedMS, r.BaselineWriteMS), 100*r.CostReduction)
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
 }
 
 // printClusterz renders the /clusterz control-plane table after a soak,

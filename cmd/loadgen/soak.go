@@ -11,6 +11,7 @@ import (
 	"maskfrac/internal/cluster"
 	"maskfrac/internal/maskio"
 	"maskfrac/internal/shapecache"
+	"maskfrac/internal/stencil"
 	"maskfrac/internal/telemetry"
 )
 
@@ -96,6 +97,10 @@ type soakReport struct {
 	Retries   float64 `json:"retries"`
 	Hedges    float64 `json:"hedges"`
 	Failovers float64 `json:"failovers"`
+
+	// StencilPlan is the character-projection stencil the observed class
+	// traffic justifies, with its projected write-time savings.
+	StencilPlan *stencil.Plan `json:"stencil_plan,omitempty"`
 }
 
 // soakItem is one pre-canonicalized placement the soak cycles through.

@@ -1,0 +1,55 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+
+	"maskfrac/internal/stencil"
+	"maskfrac/internal/telemetry"
+)
+
+// TopClasses mines the cluster's congruence-class statistics: it polls
+// every member's /stats?classes=k table concurrently and merges them
+// into one mask-wide view (placement counts sum across nodes — failover
+// and hedging scatter a class's lookups), sorted by placements
+// descending and truncated to k (k <= 0 keeps everything). An
+// unreachable node fails the mine: a partial class table would silently
+// underprice the stencil plan.
+func (c *Client) TopClasses(ctx context.Context, k int) ([]stencil.Class, error) {
+	ctx, span := telemetry.StartSpan(ctx, "cluster.topclasses")
+	defer span.End()
+	ids := c.Nodes()
+	lists := make([][]stencil.Class, len(ids))
+	errs := make([]error, len(ids))
+	done := make(chan int, len(ids))
+	for i, id := range ids {
+		go func(i int, id string) {
+			c.mu.Lock()
+			n := c.nodes[id]
+			c.mu.Unlock()
+			if n == nil {
+				errs[i] = fmt.Errorf("cluster: unknown node %q", id)
+			} else if st, err := n.fc.StatsTop(ctx, k); err != nil {
+				errs[i] = fmt.Errorf("cluster: mine %s: %w", id, err)
+			} else {
+				lists[i] = st.TopClasses
+			}
+			done <- i
+		}(i, id)
+	}
+	for range ids {
+		<-done
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	merged := stencil.Merge(lists...)
+	if k > 0 && len(merged) > k {
+		merged = merged[:k]
+	}
+	span.Set("nodes", len(ids))
+	span.Set("classes", len(merged))
+	return merged, nil
+}

@@ -225,9 +225,47 @@ func (sr *SolveResponse) ShotRects() ([]geom.Rect, error) {
 	return maskio.ShotsFromWire(sr.Shots)
 }
 
+// Plan asks the server to plan a character-projection stencil from its
+// cache's class statistics (POST /plan).
+func (c *Client) Plan(ctx context.Context, req *PlanRequest) (*PlanResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("fracserve: encode request: %w", err)
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/plan", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	decorate(ctx, hr)
+	resp, err := c.http().Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, statusError(resp)
+	}
+	var out PlanResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("%w: decode response: %v", ErrProtocol, err)
+	}
+	return &out, nil
+}
+
 // Stats fetches the server statistics.
 func (c *Client) Stats(ctx context.Context) (*StatsReply, error) {
-	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/stats", nil)
+	return c.stats(ctx, c.BaseURL+"/stats")
+}
+
+// StatsTop fetches the server statistics including the cache's top-k
+// congruence classes (GET /stats?classes=k).
+func (c *Client) StatsTop(ctx context.Context, k int) (*StatsReply, error) {
+	return c.stats(ctx, c.BaseURL+"/stats?classes="+strconv.Itoa(k))
+}
+
+func (c *Client) stats(ctx context.Context, url string) (*StatsReply, error) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, err
 	}

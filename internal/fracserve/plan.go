@@ -1,0 +1,108 @@
+package fracserve
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"maskfrac"
+	"maskfrac/internal/stencil"
+	"maskfrac/internal/writecost"
+)
+
+// defaultPlanTopK bounds the mined candidate set when a /plan request
+// does not choose one.
+const defaultPlanTopK = 256
+
+// topClassesWire converts the cache's class records to the wire form
+// the planner consumes, hex-encoding the canonical keys.
+func topClassesWire(stats []maskfrac.ClassStat) []stencil.Class {
+	out := make([]stencil.Class, len(stats))
+	for i, st := range stats {
+		out[i] = stencil.Class{
+			Key:        hex.EncodeToString(st.Key[:]),
+			Placements: int64(st.Placements),
+			Shots:      st.Shots,
+			W:          st.W,
+			H:          st.H,
+		}
+	}
+	return out
+}
+
+// modelWith overlays a request's CP overrides on the default cost
+// model.
+func modelWith(cp *CPWire) writecost.Model {
+	m := writecost.Default()
+	if cp == nil {
+		return m
+	}
+	if cp.ShotNS > 0 {
+		m.ShotTime = time.Duration(cp.ShotNS * float64(time.Nanosecond))
+	}
+	if cp.FlashNS > 0 {
+		m.CPFlashTime = time.Duration(cp.FlashNS * float64(time.Nanosecond))
+	}
+	if cp.Slots > 0 {
+		m.CPSlots = cp.Slots
+	}
+	if cp.StencilW > 0 {
+		m.CPStencilW = cp.StencilW
+	}
+	if cp.StencilH > 0 {
+		m.CPStencilH = cp.StencilH
+	}
+	if cp.LoadOverheadMS != nil {
+		m.CPLoadOverhead = time.Duration(*cp.LoadOverheadMS * float64(time.Millisecond))
+	}
+	return m
+}
+
+// handlePlan serves POST /plan: mine this node's cache class statistics
+// and plan a character-projection stencil for them.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	s.planReqs.Inc()
+	reqID := requestID(r.Context())
+	tctx, root, remote := s.traceStart(r, "fracd.plan")
+	fail := func(code int, msg string) {
+		s.finishTrace(root, remote, reqID, msg)
+		writeError(w, code, msg)
+	}
+	if s.cache == nil {
+		fail(http.StatusBadRequest, "planning needs the shape cache; the server runs with caching disabled")
+		return
+	}
+	var req PlanRequest
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		fail(http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	topK := req.TopK
+	if topK <= 0 {
+		topK = defaultPlanTopK
+	}
+	classes := topClassesWire(s.cache.TopClasses(topK))
+	m := modelWith(req.CP)
+	root.Set("candidates", len(classes))
+	plan := stencil.PlanCP(tctx, classes, m)
+
+	s.planSelected.Set(float64(len(plan.Characters)))
+	s.planSavedSec.Set(plan.Report.NetSavedMS / 1e3)
+	s.log.Info("stencil plan",
+		"id", reqID, "candidates", len(classes),
+		"characters", len(plan.Characters),
+		"net_saved_ms", plan.Report.NetSavedMS)
+
+	resp := PlanResponse{Plan: plan, TraceID: root.TraceID()}
+	wire := s.finishTrace(root, remote, reqID, "")
+	if req.ReturnTrace || remote {
+		resp.Trace = wire
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,126 @@
+package fracserve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"maskfrac/internal/maskio"
+	"maskfrac/internal/shapegen"
+)
+
+// TestE2EPlanDemoLibrary drives the full stencil-planning path over the
+// demo full-mask library: fracture every placement through /fracture
+// (one request per placement so the cache counts real placement
+// frequencies), then POST /plan and check the plan's acceptance
+// properties — within the slot budget, modeled write time strictly
+// below the no-CP baseline, per-class savings summing to the reported
+// total, and deterministic across runs.
+func TestE2EPlanDemoLibrary(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 4, QueueDepth: 64})
+	ctx := context.Background()
+
+	lib := shapegen.DemoLibrary(2, 2)
+	var wires [][][2]float64
+	if err := lib.Walk(func(pl maskio.Placement) error {
+		wires = append(wires, maskio.PolygonWire(pl.Polygon))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(wires) != 40 {
+		t.Fatalf("demo library placements = %d, want 40", len(wires))
+	}
+	for _, w := range wires {
+		if _, err := c.Do(ctx, &Request{Shape: w, Method: "proto-eda", OmitShots: true}); err != nil {
+			t.Fatalf("fracture: %v", err)
+		}
+	}
+
+	st, err := c.StatsTop(ctx, 0)
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if len(st.TopClasses) != 10 {
+		t.Fatalf("mined classes = %d, want 10", len(st.TopClasses))
+	}
+	var placements int64
+	for _, cl := range st.TopClasses {
+		placements += cl.Placements
+		if cl.Shots <= 0 || cl.W <= 0 || cl.H <= 0 {
+			t.Errorf("class %s missing solution stats: %+v", cl.Key[:8], cl)
+		}
+	}
+	if placements != 40 {
+		t.Errorf("Σ class placements = %d, want 40", placements)
+	}
+
+	// the demo mask writes in milliseconds, so the stencil must plan
+	// with no load overhead to be profitable
+	zero := 0.0
+	req := &PlanRequest{CP: &CPWire{Slots: 4, LoadOverheadMS: &zero}}
+	resp, err := c.Plan(ctx, req)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	plan := resp.Plan
+	if plan == nil {
+		t.Fatal("nil plan")
+	}
+	if n := len(plan.Characters); n == 0 || n > 4 {
+		t.Fatalf("characters = %d, want 1..4", n)
+	}
+	r := plan.Report
+	if r.WithCPWriteMS >= r.BaselineWriteMS {
+		t.Errorf("CP write %v ms not below baseline %v ms", r.WithCPWriteMS, r.BaselineWriteMS)
+	}
+	sum := 0.0
+	for _, ch := range plan.Characters {
+		sum += ch.SavedMS
+	}
+	if sum != r.ClassSavedMS {
+		t.Errorf("Σ per-class saved %v != reported total %v", sum, r.ClassSavedMS)
+	}
+	if r.TotalPlacements != 40 {
+		t.Errorf("report placements = %d, want 40", r.TotalPlacements)
+	}
+	if resp.TraceID == "" {
+		t.Error("plan response missing trace ID")
+	}
+
+	// determinism: the same mined state must replan identically
+	again, err := c.Plan(ctx, req)
+	if err != nil {
+		t.Fatalf("replan: %v", err)
+	}
+	b1, _ := json.Marshal(plan)
+	b2, _ := json.Marshal(again.Plan)
+	if string(b1) != string(b2) {
+		t.Errorf("replan diverged:\n%s\nvs\n%s", b1, b2)
+	}
+}
+
+// TestE2EPlanNoCache: a server running with caching disabled has no
+// class statistics to mine and must reject /plan.
+func TestE2EPlanNoCache(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1, CacheEntries: -1})
+	_, err := c.Plan(context.Background(), &PlanRequest{})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != 400 {
+		t.Fatalf("plan on cacheless server = %v, want HTTP 400", err)
+	}
+}
+
+// TestE2EPlanEmptyCache: planning before any traffic yields the empty
+// plan, priced at a zero baseline.
+func TestE2EPlanEmptyCache(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1})
+	resp, err := c.Plan(context.Background(), &PlanRequest{})
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	if n := len(resp.Plan.Characters); n != 0 {
+		t.Errorf("empty cache planned %d characters", n)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -122,20 +123,23 @@ type Server struct {
 	start time.Time
 
 	// registry instruments; /stats is derived from these
-	requests    *telemetry.Counter
-	solveReqs   *telemetry.Counter
-	rejected    *telemetry.Counter
-	timeouts    *telemetry.Counter
-	regionsHist *telemetry.Histogram
-	inflight    *telemetry.Gauge
-	reqDur      *telemetry.HistogramVec // by endpoint path
-	queueWait   *telemetry.Histogram
-	shotsHist   *telemetry.Histogram
-	mShapes     *telemetry.CounterVec   // shapes attempted, by method
-	mErrors     *telemetry.CounterVec   // per-item errors, by method
-	mHits       *telemetry.CounterVec   // cache hits, by method
-	mShots      *telemetry.CounterVec   // shots produced, by method
-	solveDur    *telemetry.HistogramVec // successful solve seconds, by method
+	requests     *telemetry.Counter
+	solveReqs    *telemetry.Counter
+	planReqs     *telemetry.Counter
+	planSelected *telemetry.Gauge
+	planSavedSec *telemetry.Gauge
+	rejected     *telemetry.Counter
+	timeouts     *telemetry.Counter
+	regionsHist  *telemetry.Histogram
+	inflight     *telemetry.Gauge
+	reqDur       *telemetry.HistogramVec // by endpoint path
+	queueWait    *telemetry.Histogram
+	shotsHist    *telemetry.Histogram
+	mShapes      *telemetry.CounterVec   // shapes attempted, by method
+	mErrors      *telemetry.CounterVec   // per-item errors, by method
+	mHits        *telemetry.CounterVec   // cache hits, by method
+	mShots       *telemetry.CounterVec   // shots produced, by method
+	solveDur     *telemetry.HistogramVec // successful solve seconds, by method
 
 	// graceful-drain accounting
 	draining      atomic.Bool
@@ -167,6 +171,7 @@ func New(cfg Config) *Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/fracture", s.handleFracture)
 	mux.HandleFunc("/solve", s.handleSolve)
+	mux.HandleFunc("/plan", s.handlePlan)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.Handle("/metrics", s.reg.Handler())
@@ -195,6 +200,12 @@ func (s *Server) registerMetrics() {
 		"POST /fracture requests received")
 	s.solveReqs = r.Counter("fracd_solve_requests_total",
 		"POST /solve requests received")
+	s.planReqs = r.Counter("fracd_stencil_plans_total",
+		"POST /plan stencil planning requests received")
+	s.planSelected = r.Gauge("fracd_stencil_selected_classes",
+		"characters selected by the most recent stencil plan")
+	s.planSavedSec = r.Gauge("fracd_stencil_saved_seconds",
+		"net modeled write-time saving of the most recent stencil plan")
 	s.regionsHist = r.Histogram("fracd_regions_per_request",
 		"independent regions per /solve instance",
 		[]float64{1, 2, 4, 8, 16, 32, 64, 128})
@@ -339,7 +350,7 @@ func (s *Server) observe(h http.Handler) http.Handler {
 // cannot blow up metric cardinality with random paths.
 func pathLabel(path string) string {
 	switch path {
-	case "/fracture", "/solve", "/healthz", "/stats", "/metrics", "/clusterz":
+	case "/fracture", "/solve", "/plan", "/healthz", "/stats", "/metrics", "/clusterz":
 		return path
 	}
 	if len(path) >= len("/debug/pprof") && path[:len("/debug/pprof")] == "/debug/pprof" {
@@ -711,6 +722,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Entries:    cs.Entries,
 			Bytes:      cs.Bytes,
 			MaxEntries: cs.MaxEntries,
+		}
+		if v := r.URL.Query().Get("classes"); v != "" {
+			k, err := strconv.Atoi(v)
+			if err != nil || k < 0 {
+				writeError(w, http.StatusBadRequest, "classes must be a non-negative integer")
+				return
+			}
+			reply.TopClasses = topClassesWire(s.cache.TopClasses(k))
 		}
 	}
 	writeJSON(w, http.StatusOK, reply)

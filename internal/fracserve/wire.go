@@ -7,12 +7,18 @@
 //	POST /fracture — fracture one shape or a batch (Request/Response)
 //	POST /solve    — fracture one multi-shape instance through the
 //	                 decompose–solve–stitch engine (SolveRequest/SolveResponse)
+//	POST /plan     — plan a character-projection stencil from the cache's
+//	                 class statistics (PlanRequest/PlanResponse)
 //	GET  /healthz  — liveness probe
-//	GET  /stats    — cache counters, queue depth, per-method aggregates
+//	GET  /stats    — cache counters, queue depth, per-method aggregates;
+//	                 ?classes=K adds the top-K congruence classes
 //	GET  /debug/traces — retained request traces (see tracestore)
 package fracserve
 
-import "maskfrac/internal/telemetry"
+import (
+	"maskfrac/internal/stencil"
+	"maskfrac/internal/telemetry"
+)
 
 // Request is the POST /fracture body. Exactly one of Shape or Shapes
 // must be set. Zero-valued fields select the server's defaults.
@@ -197,4 +203,41 @@ type StatsReply struct {
 	Workers       int                    `json:"workers"`
 	Cache         CacheStatsWire         `json:"cache"`
 	Methods       map[string]MethodStats `json:"methods"`
+	// TopClasses is the cache's highest-placement congruence classes,
+	// present when the request asked for them with ?classes=K. The
+	// stencil planner mines these across the cluster.
+	TopClasses []stencil.Class `json:"top_classes,omitempty"`
+}
+
+// CPWire overrides the server's default character-projection cost
+// parameters for one /plan request. Zero-valued fields inherit
+// writecost.Default(); LoadOverheadMS is a pointer so an explicit 0
+// (no stencil mount cost — useful for small test masks) is
+// distinguishable from unset.
+type CPWire struct {
+	ShotNS         float64  `json:"shot_ns,omitempty"`
+	FlashNS        float64  `json:"flash_ns,omitempty"`
+	Slots          int      `json:"slots,omitempty"`
+	StencilW       float64  `json:"stencil_w,omitempty"`
+	StencilH       float64  `json:"stencil_h,omitempty"`
+	LoadOverheadMS *float64 `json:"load_overhead_ms,omitempty"`
+}
+
+// PlanRequest is the POST /plan body: plan a CP stencil from this
+// node's class statistics.
+type PlanRequest struct {
+	// TopK bounds how many classes are mined as candidates (default
+	// 256).
+	TopK int `json:"top_k,omitempty"`
+	// CP overrides the default cost-model CP parameters.
+	CP *CPWire `json:"cp,omitempty"`
+	// ReturnTrace asks for the planning span tree in the response.
+	ReturnTrace bool `json:"return_trace,omitempty"`
+}
+
+// PlanResponse is the POST /plan reply.
+type PlanResponse struct {
+	Plan    *stencil.Plan       `json:"plan"`
+	TraceID string              `json:"trace_id,omitempty"`
+	Trace   *telemetry.SpanWire `json:"trace,omitempty"`
 }

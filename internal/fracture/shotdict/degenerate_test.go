@@ -1,0 +1,133 @@
+package shotdict
+
+import (
+	"reflect"
+	"testing"
+
+	"maskfrac/internal/geom"
+	"maskfrac/internal/raster"
+)
+
+// TestMaximalRectsEmptyBitmap: an all-false bitmap yields no
+// rectangles, not a panic or a zero-area rect.
+func TestMaximalRectsEmptyBitmap(t *testing.T) {
+	b := raster.NewBitmap(raster.Grid{Pitch: 1, W: 12, H: 9})
+	if rects := MaximalRects(b); len(rects) != 0 {
+		t.Errorf("empty bitmap produced %v", rects)
+	}
+}
+
+// TestMaximalRectsZeroSizeGrid: a 0×0 grid (no pixels at all) is the
+// deepest degenerate case — the sweep must not index anything.
+func TestMaximalRectsZeroSizeGrid(t *testing.T) {
+	b := raster.NewBitmap(raster.Grid{Pitch: 1})
+	if rects := MaximalRects(b); len(rects) != 0 {
+		t.Errorf("0x0 grid produced %v", rects)
+	}
+	row := raster.NewBitmap(raster.Grid{Pitch: 1, W: 5}) // H = 0
+	if rects := MaximalRects(row); len(rects) != 0 {
+		t.Errorf("5x0 grid produced %v", rects)
+	}
+}
+
+// TestMaximalRectsSinglePixel: one true pixel is one 1×1-pitch maximal
+// rectangle anchored at the pixel's corner in world coordinates.
+func TestMaximalRectsSinglePixel(t *testing.T) {
+	g := raster.Grid{X0: 10, Y0: -4, Pitch: 2, W: 7, H: 5}
+	b := raster.NewBitmap(g)
+	b.Set(3, 2, true)
+	rects := MaximalRects(b)
+	want := []geom.Rect{{X0: 16, Y0: 0, X1: 18, Y1: 2}}
+	if !reflect.DeepEqual(rects, want) {
+		t.Errorf("single pixel rects = %v, want %v", rects, want)
+	}
+}
+
+// TestMaximalRectsFullGrid: an all-true bitmap has exactly one maximal
+// rectangle — the whole grid.
+func TestMaximalRectsFullGrid(t *testing.T) {
+	g := raster.Grid{Pitch: 1, W: 9, H: 6}
+	b := raster.NewBitmap(g)
+	for i := range b.Bits {
+		b.Bits[i] = true
+	}
+	rects := MaximalRects(b)
+	want := []geom.Rect{{X0: 0, Y0: 0, X1: 9, Y1: 6}}
+	if !reflect.DeepEqual(rects, want) {
+		t.Errorf("full grid rects = %v, want %v", rects, want)
+	}
+}
+
+// TestMaximalRectsSinglePixelRowsAndColumns: a 1-pixel-high bar and a
+// 1-pixel-wide bar each produce exactly one maximal rectangle.
+func TestMaximalRectsThinBars(t *testing.T) {
+	row := bitmapOf(10, 5, geom.Rect{X0: 2, Y0: 2, X1: 8, Y1: 3})
+	if rects := MaximalRects(row); len(rects) != 1 ||
+		rects[0] != (geom.Rect{X0: 2, Y0: 2, X1: 8, Y1: 3}) {
+		t.Errorf("1-high bar rects = %v", rects)
+	}
+	col := bitmapOf(5, 10, geom.Rect{X0: 2, Y0: 1, X1: 3, Y1: 9})
+	if rects := MaximalRects(col); len(rects) != 1 ||
+		rects[0] != (geom.Rect{X0: 2, Y0: 1, X1: 3, Y1: 9}) {
+		t.Errorf("1-wide bar rects = %v", rects)
+	}
+}
+
+// TestMaximalRectsScatteredPixels: isolated pixels each become their own
+// rectangle — no merging across gaps.
+func TestMaximalRectsScatteredPixels(t *testing.T) {
+	g := raster.Grid{Pitch: 1, W: 8, H: 8}
+	b := raster.NewBitmap(g)
+	b.Set(0, 0, true)
+	b.Set(7, 0, true)
+	b.Set(0, 7, true)
+	b.Set(7, 7, true)
+	rects := MaximalRects(b)
+	if len(rects) != 4 {
+		t.Fatalf("4 isolated pixels produced %d rects: %v", len(rects), rects)
+	}
+	for _, r := range rects {
+		if r.W() != 1 || r.H() != 1 {
+			t.Errorf("isolated pixel rect %v not 1x1", r)
+		}
+	}
+}
+
+// TestMaximalRectsDeterministicOrder: the candidate enumeration order —
+// which downstream greedy solvers iterate in — must not vary between
+// runs on the same bitmap. The histogram sweep is deterministic by
+// construction; this pins it against a future map-ordered rewrite.
+func TestMaximalRectsDeterministicOrder(t *testing.T) {
+	build := func() *raster.Bitmap {
+		return bitmapOf(24, 24,
+			geom.Rect{X0: 1, Y0: 1, X1: 11, Y1: 14},
+			geom.Rect{X0: 8, Y0: 6, X1: 22, Y1: 12},
+			geom.Rect{X0: 4, Y0: 16, X1: 9, Y1: 23},
+			geom.Rect{X0: 18, Y0: 2, X1: 23, Y1: 20})
+	}
+	base := MaximalRects(build())
+	if len(base) < 4 {
+		t.Fatalf("composite shape produced only %d rects", len(base))
+	}
+	for run := 0; run < 20; run++ {
+		if got := MaximalRects(build()); !reflect.DeepEqual(got, base) {
+			t.Fatalf("run %d order diverged:\n%v\nvs\n%v", run, got, base)
+		}
+	}
+}
+
+// TestCandidatesDeterministicOrder pins the full dictionary (maximal
+// rects plus biased variants, Lmin-clamped) to a stable order across
+// repeated enumerations of the same problem.
+func TestCandidatesDeterministicOrder(t *testing.T) {
+	p := mustProblem(t)
+	base := Candidates(p)
+	if len(base) == 0 {
+		t.Fatal("no candidates")
+	}
+	for run := 0; run < 10; run++ {
+		if got := Candidates(p); !reflect.DeepEqual(got, base) {
+			t.Fatalf("run %d candidate order diverged", run)
+		}
+	}
+}

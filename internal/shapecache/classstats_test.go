@@ -1,0 +1,117 @@
+package shapecache
+
+import (
+	"context"
+	"testing"
+
+	"maskfrac/internal/geom"
+)
+
+func statKey(b byte) Key {
+	var k Key
+	k[0] = b
+	return k
+}
+
+func statEntry(shots int) *Entry {
+	e := &Entry{Bytes: 1}
+	for i := 0; i < shots; i++ {
+		e.Shots = append(e.Shots, geom.Rect{X0: 0, Y0: float64(i) * 10, X1: 20, Y1: float64(i)*10 + 8})
+	}
+	return e
+}
+
+// TestClassStatsCounting checks that placements accumulate across the
+// solve and every later hit, and that the stored solution's shot count
+// and canonical bbox are recorded.
+func TestClassStatsCounting(t *testing.T) {
+	c := New(8)
+	ctx := context.Background()
+	k := statKey(1)
+	for i := 0; i < 5; i++ {
+		_, _, err := c.Do(ctx, k, func() (*Entry, error) { return statEntry(3), nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	top := c.TopClasses(0)
+	if len(top) != 1 {
+		t.Fatalf("tracked classes = %d, want 1", len(top))
+	}
+	st := top[0]
+	if st.Key != k || st.Placements != 5 || st.Shots != 3 {
+		t.Errorf("stat = %+v, want key %x placements 5 shots 3", st, k[:2])
+	}
+	if st.W != 20 || st.H != 28 {
+		t.Errorf("bbox = %gx%g, want 20x28", st.W, st.H)
+	}
+}
+
+// TestClassStatsTopKOrder checks descending-placement order with the
+// key-byte tie-break, and the k bound.
+func TestClassStatsTopKOrder(t *testing.T) {
+	c := New(16)
+	ctx := context.Background()
+	// key 3 looked up 3 times, key 1 twice, keys 5 and 4 once (tie)
+	for _, b := range []byte{3, 3, 3, 1, 1, 5, 4} {
+		if _, _, err := c.Do(ctx, statKey(b), func() (*Entry, error) { return statEntry(int(b)), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	top := c.TopClasses(3)
+	if len(top) != 3 {
+		t.Fatalf("top 3 returned %d", len(top))
+	}
+	wantKeys := []byte{3, 1, 4} // 4 beats 5 on the byte tie-break
+	wantN := []uint64{3, 2, 1}
+	for i, st := range top {
+		if st.Key != statKey(wantKeys[i]) || st.Placements != wantN[i] {
+			t.Errorf("top[%d] = key %d placements %d, want key %d placements %d",
+				i, st.Key[0], st.Placements, wantKeys[i], wantN[i])
+		}
+	}
+}
+
+// TestClassStatsSurviveEviction: the LRU may drop an entry, but its
+// frequency record must survive — a hot class cycled out of a small
+// cache still belongs on the stencil.
+func TestClassStatsSurviveEviction(t *testing.T) {
+	c := New(2)
+	ctx := context.Background()
+	for b := byte(1); b <= 4; b++ {
+		if _, _, err := c.Do(ctx, statKey(b), func() (*Entry, error) { return statEntry(2), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Len(); got != 2 {
+		t.Fatalf("entries = %d, want 2", got)
+	}
+	if got := len(c.TopClasses(0)); got != 4 {
+		t.Errorf("tracked classes = %d, want 4 (records outlive eviction)", got)
+	}
+}
+
+// TestClassStatsBounded: the tracker prunes to stay within its cap,
+// keeping the highest-placement classes.
+func TestClassStatsBounded(t *testing.T) {
+	c := New(1) // classCap = 4
+	ctx := context.Background()
+	hot := statKey(200)
+	for i := 0; i < 10; i++ {
+		if _, _, err := c.Do(ctx, hot, func() (*Entry, error) { return statEntry(1), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for b := byte(1); b <= 40; b++ {
+		if _, _, err := c.Do(ctx, statKey(b), func() (*Entry, error) { return statEntry(1), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	top := c.TopClasses(0)
+	if len(top) > 4 {
+		t.Errorf("tracked classes = %d, want <= cap 4", len(top))
+	}
+	if top[0].Key != hot {
+		t.Errorf("hottest class pruned: top is key %d", top[0].Key[0])
+	}
+}

@@ -1,8 +1,10 @@
 package shapecache
 
 import (
+	"bytes"
 	"container/list"
 	"context"
+	"sort"
 	"sync"
 
 	"maskfrac/internal/geom"
@@ -32,6 +34,21 @@ type Stats struct {
 	MaxEntries int    // configured entry bound
 }
 
+// ClassStat is the per-congruence-class usage record the stencil
+// planner mines: how often the class was looked up and what its stored
+// solution looks like. Placements counts successful lookups — hits,
+// coalesced waits and the solve that stored the entry — so on a
+// placement-per-request workload it equals the class's placement count.
+// The record survives LRU eviction of its entry: frequency is the
+// signal, and a hot class that cycled out of a small cache still
+// belongs on the stencil.
+type ClassStat struct {
+	Key        Key
+	Placements uint64  // successful lookups for the class
+	Shots      int     // stored solution shot count
+	W, H       float64 // canonical-frame bbox of the stored shot list, nm
+}
+
 // Cache is a concurrency-safe, content-addressed LRU cache of
 // fracturing solutions. Lookups for a key being computed by another
 // goroutine wait for that computation instead of duplicating it, so a
@@ -42,6 +59,8 @@ type Cache struct {
 	entries   map[Key]*list.Element
 	order     *list.List // front = most recently used; values are *lruItem
 	flights   map[Key]*flight
+	classes   map[Key]*ClassStat // per-class usage, bounded to classCap
+	classCap  int
 	hits      uint64
 	misses    uint64
 	evictions uint64
@@ -72,6 +91,8 @@ func New(maxEntries int) *Cache {
 		entries:  make(map[Key]*list.Element),
 		order:    list.New(),
 		flights:  make(map[Key]*flight),
+		classes:  make(map[Key]*ClassStat),
+		classCap: 4 * maxEntries,
 	}
 }
 
@@ -81,6 +102,7 @@ func (c *Cache) Get(k Key) (*Entry, bool) {
 	defer c.mu.Unlock()
 	if e := c.getLocked(k); e != nil {
 		c.hits++
+		c.noteClassLocked(k, e)
 		return e, true
 	}
 	c.misses++
@@ -105,6 +127,7 @@ func (c *Cache) Do(ctx context.Context, k Key, compute func() (*Entry, error)) (
 	c.mu.Lock()
 	if e := c.getLocked(k); e != nil {
 		c.hits++
+		c.noteClassLocked(k, e)
 		c.mu.Unlock()
 		return e, true, nil
 	}
@@ -121,6 +144,7 @@ func (c *Cache) Do(ctx context.Context, k Key, compute func() (*Entry, error)) (
 		c.mu.Lock()
 		c.hits++
 		c.coalesced++
+		c.noteClassLocked(k, fl.entry)
 		c.mu.Unlock()
 		return fl.entry, true, nil
 	}
@@ -135,6 +159,7 @@ func (c *Cache) Do(ctx context.Context, k Key, compute func() (*Entry, error)) (
 	delete(c.flights, k)
 	if err == nil {
 		c.putLocked(k, e)
+		c.noteClassLocked(k, e)
 	}
 	c.mu.Unlock()
 	close(fl.done)
@@ -161,6 +186,79 @@ func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries)
+}
+
+// TopClasses returns the k highest-placement-count classes, sorted by
+// placements descending with key bytes as the deterministic tie-break.
+// k <= 0 returns every tracked class. The returned records are copies.
+func (c *Cache) TopClasses(k int) []ClassStat {
+	c.mu.Lock()
+	out := make([]ClassStat, 0, len(c.classes))
+	for _, st := range c.classes {
+		out = append(out, *st)
+	}
+	c.mu.Unlock()
+	sortClassStats(out)
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// sortClassStats orders by placements descending, then key ascending.
+func sortClassStats(s []ClassStat) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Placements != s[j].Placements {
+			return s[i].Placements > s[j].Placements
+		}
+		return bytes.Compare(s[i].Key[:], s[j].Key[:]) < 0
+	})
+}
+
+// noteClassLocked records one successful lookup for k. e carries the
+// stored solution so the record has its shot count and canonical bbox.
+func (c *Cache) noteClassLocked(k Key, e *Entry) {
+	st := c.classes[k]
+	if st == nil {
+		if len(c.classes) >= c.classCap {
+			c.pruneClassesLocked()
+		}
+		st = &ClassStat{Key: k}
+		c.classes[k] = st
+	}
+	st.Placements++
+	if e != nil && len(e.Shots) != st.Shots {
+		st.Shots = len(e.Shots)
+		st.W, st.H = shotsBBox(e.Shots)
+	}
+}
+
+// pruneClassesLocked halves the class-stat map, keeping the highest
+// placement counts, so the tracker stays bounded on a mask with more
+// distinct classes than classCap. The planner only ever asks for the
+// top of the distribution, which pruning preserves.
+func (c *Cache) pruneClassesLocked() {
+	all := make([]ClassStat, 0, len(c.classes))
+	for _, st := range c.classes {
+		all = append(all, *st)
+	}
+	sortClassStats(all)
+	for _, st := range all[c.classCap/2:] {
+		delete(c.classes, st.Key)
+	}
+}
+
+// shotsBBox returns the width and height of the bounding box of a
+// canonical-frame shot list.
+func shotsBBox(shots []geom.Rect) (w, h float64) {
+	if len(shots) == 0 {
+		return 0, 0
+	}
+	bb := shots[0]
+	for _, s := range shots[1:] {
+		bb = bb.Union(s)
+	}
+	return bb.W(), bb.H()
 }
 
 func (c *Cache) getLocked(k Key) *Entry {

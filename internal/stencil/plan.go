@@ -1,0 +1,247 @@
+package stencil
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"maskfrac/internal/telemetry"
+	"maskfrac/internal/writecost"
+)
+
+// DefaultMargin is the clearance kept between packed characters and
+// around each character's aperture, in nm.
+const DefaultMargin = 20
+
+// Budget bounds the stencil the planner may fill.
+type Budget struct {
+	// Slots is the maximum number of characters.
+	Slots int `json:"slots"`
+	// W, H is the usable stencil rectangle in nm.
+	W float64 `json:"w"`
+	H float64 `json:"h"`
+	// Margin is the clearance added around each character, nm.
+	Margin float64 `json:"margin"`
+}
+
+// BudgetFrom derives the planning budget from a write-cost model's CP
+// parameters.
+func BudgetFrom(m writecost.Model) Budget {
+	return Budget{Slots: m.CPSlots, W: m.CPStencilW, H: m.CPStencilH, Margin: DefaultMargin}
+}
+
+// Character is one selected class with its packed stencil position and
+// its write-time contribution.
+type Character struct {
+	Class
+	// X, Y is the packed lower-left corner of the character on the
+	// stencil, nm (margin already applied).
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+	// SavedMS is the per-mask write-time saving from stenciling the
+	// class: placements × (shots×ShotTime − CPFlashTime), in ms.
+	SavedMS float64 `json:"saved_ms"`
+}
+
+// Plan is the planner's output: the selected characters, the budget
+// they fit, and the priced report.
+type Plan struct {
+	Budget     Budget      `json:"budget"`
+	Characters []Character `json:"characters"`
+	// Candidates is the number of classes considered; Viable the number
+	// with positive stencil value that fit the stencil individually.
+	Candidates int `json:"candidates"`
+	Viable     int `json:"viable"`
+	// PackDrops counts knapsack picks the packing refinement had to
+	// evict because they did not fit geometrically; PackAdds counts
+	// skipped candidates the refinement pulled back into freed space.
+	PackDrops int    `json:"pack_drops"`
+	PackAdds  int    `json:"pack_adds"`
+	Report    Report `json:"report"`
+}
+
+// cand is a planning candidate: its class, its value, and its packing
+// footprint (bbox plus margin).
+type cand struct {
+	Class
+	savedMS float64
+	fw, fh  float64
+}
+
+// PlanCP selects and packs a character-projection stencil for the mined
+// classes under the model's CP budget, and prices it. The selection is
+// deterministic: every ordering ties back to (value, key).
+//
+// The algorithm is a two-stage heuristic standing in for E-BLOW's ILT
+// formulation: a greedy knapsack over write-time value density picks
+// the candidate set, then a shelf-packing refinement makes the set
+// geometrically feasible — evicting picks that cannot be placed and
+// back-filling freed space with skipped candidates in value order.
+// A plan whose gross saving does not beat the stencil load overhead is
+// returned empty: never plan a stencil that loses time.
+func PlanCP(ctx context.Context, classes []Class, m writecost.Model) *Plan {
+	ctx, span := telemetry.StartSpan(ctx, "stencil.plan")
+	defer span.End()
+	b := BudgetFrom(m)
+	p := &Plan{Budget: b, Candidates: len(classes)}
+
+	shotMS := ms(m.ShotTime)
+	flashMS := ms(m.CPFlashTime)
+
+	// stage 0: viability — positive write-time value, fits the stencil
+	// alone, solution known
+	_, cspan := telemetry.StartSpan(ctx, "stencil.candidates")
+	var viable []cand
+	for _, c := range classes {
+		saved := float64(c.Placements) * (float64(c.Shots)*shotMS - flashMS)
+		fw, fh := c.W+b.Margin, c.H+b.Margin
+		if saved <= 0 || c.Shots == 0 || c.W <= 0 || c.H <= 0 || fw > b.W || fh > b.H {
+			continue
+		}
+		viable = append(viable, cand{Class: c, savedMS: saved, fw: fw, fh: fh})
+	}
+	sort.Slice(viable, func(i, j int) bool {
+		if viable[i].savedMS != viable[j].savedMS {
+			return viable[i].savedMS > viable[j].savedMS
+		}
+		return viable[i].Key < viable[j].Key
+	})
+	p.Viable = len(viable)
+	cspan.Set("candidates", len(classes))
+	cspan.Set("viable", len(viable))
+	cspan.End()
+
+	// stage 1: greedy knapsack over value with slot + area budgets
+	_, kspan := telemetry.StartSpan(ctx, "stencil.knapsack")
+	areaBudget := b.W * b.H
+	var sel []cand
+	usedArea := 0.0
+	for _, c := range viable {
+		if len(sel) >= b.Slots {
+			break
+		}
+		if usedArea+c.fw*c.fh > areaBudget {
+			continue
+		}
+		sel = append(sel, c)
+		usedArea += c.fw * c.fh
+	}
+	kspan.Set("selected", len(sel))
+	kspan.End()
+
+	// stage 2: packing-aware refinement — shelf-pack the pick; evict
+	// what cannot be placed, then back-fill leftover space with skipped
+	// candidates in value order
+	_, pspan := telemetry.StartSpan(ctx, "stencil.pack")
+	var placed []Character
+	for {
+		pk := newPacker(b)
+		placed = placed[:0]
+		failedIdx := -1
+		for i, c := range sel {
+			if x, y, ok := pk.place(c.fw, c.fh); ok {
+				placed = append(placed, Character{
+					Class: c.Class, X: x + b.Margin/2, Y: y + b.Margin/2, SavedMS: c.savedMS,
+				})
+			} else if failedIdx < 0 {
+				failedIdx = i
+			}
+		}
+		if failedIdx < 0 {
+			// everything placed: back-fill remaining viable candidates
+			inSel := make(map[string]bool, len(sel))
+			for _, c := range sel {
+				inSel[c.Key] = true
+			}
+			for _, c := range viable {
+				if len(placed) >= b.Slots {
+					break
+				}
+				if inSel[c.Key] {
+					continue
+				}
+				if x, y, ok := pk.place(c.fw, c.fh); ok {
+					placed = append(placed, Character{
+						Class: c.Class, X: x + b.Margin/2, Y: y + b.Margin/2, SavedMS: c.savedMS,
+					})
+					p.PackAdds++
+				}
+			}
+			break
+		}
+		// evict the lowest-value unplaceable pick and re-pack; sel is in
+		// value order, so the last failing index is the cheapest loss —
+		// but any failing candidate blocks the pack, so drop the first
+		// failure's slot from the tail end of the order: remove the
+		// lowest-value element at or after the failure point
+		sel = append(sel[:failedIdx], sel[failedIdx+1:]...)
+		p.PackDrops++
+	}
+	// table order: value descending, key tie-break
+	sort.Slice(placed, func(i, j int) bool {
+		if placed[i].SavedMS != placed[j].SavedMS {
+			return placed[i].SavedMS > placed[j].SavedMS
+		}
+		return placed[i].Key < placed[j].Key
+	})
+	pspan.Set("placed", len(placed))
+	pspan.Set("drops", p.PackDrops)
+	pspan.Set("adds", p.PackAdds)
+	pspan.End()
+	p.Characters = placed
+
+	// stage 3: price the plan; drop it entirely when the stencil load
+	// overhead eats the gross saving
+	_, rspan := telemetry.StartSpan(ctx, "stencil.price")
+	p.price(classes, m)
+	if len(p.Characters) > 0 && p.Report.ClassSavedMS <= p.Report.LoadOverheadMS {
+		p.Characters = nil
+		p.price(classes, m)
+	}
+	rspan.Set("saved_ms", p.Report.NetSavedMS)
+	rspan.End()
+	span.Set("characters", len(p.Characters))
+	span.Set("saved_ms", p.Report.NetSavedMS)
+	return p
+}
+
+// packer is a bottom-left shelf packer over the stencil rectangle.
+// Characters land on shelves (full-width rows); a character opens a new
+// shelf when no existing shelf has room. Deterministic in insertion
+// order.
+type packer struct {
+	b       Budget
+	shelves []shelf
+	yUsed   float64
+}
+
+type shelf struct {
+	y, h, xUsed float64
+}
+
+func newPacker(b Budget) *packer { return &packer{b: b} }
+
+// place returns the lower-left corner for a footprint of w×h, or false
+// when it fits on no shelf and no new shelf can open.
+func (p *packer) place(w, h float64) (x, y float64, ok bool) {
+	for i := range p.shelves {
+		s := &p.shelves[i]
+		if h <= s.h && s.xUsed+w <= p.b.W {
+			x, y = s.xUsed, s.y
+			s.xUsed += w
+			return x, y, true
+		}
+	}
+	if p.yUsed+h <= p.b.H && w <= p.b.W {
+		p.shelves = append(p.shelves, shelf{y: p.yUsed, h: h, xUsed: w})
+		x, y = 0, p.yUsed
+		p.yUsed += h
+		return x, y, true
+	}
+	return 0, 0, false
+}
+
+// ms converts a duration to float64 milliseconds. Pricing math runs in
+// float ms so the per-class savings table sums exactly to the report's
+// total (no Duration truncation between the two).
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

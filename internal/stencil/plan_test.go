@@ -1,0 +1,267 @@
+package stencil
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"maskfrac/internal/writecost"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// testModel is a small, exactly-representable parameterization: shots
+// at 1ms and flashes at 2ms keep every saving an integer number of ms.
+func testModel() writecost.Model {
+	return writecost.Model{
+		ShotTime:       time.Millisecond,
+		Overhead:       0,
+		WriteFraction:  0.20,
+		MaskSetCost:    1_500_000,
+		CPFlashTime:    2 * time.Millisecond,
+		CPSlots:        4,
+		CPStencilW:     300,
+		CPStencilH:     300,
+		CPLoadOverhead: 0,
+	}
+}
+
+func testClasses() []Class {
+	return []Class{
+		{Key: "aa", Placements: 100, Shots: 12, W: 80, H: 60},  // saved 100*(12-2)=1000ms
+		{Key: "bb", Placements: 50, Shots: 30, W: 120, H: 100}, // saved 50*28=1400ms
+		{Key: "cc", Placements: 400, Shots: 3, W: 40, H: 40},   // saved 400*1=400ms
+		{Key: "dd", Placements: 10, Shots: 2, W: 30, H: 30},    // saved 10*0=0 -> not viable
+		{Key: "ee", Placements: 9999, Shots: 5, W: 400, H: 50}, // too wide for stencil
+		{Key: "ff", Placements: 70, Shots: 8, W: 60, H: 60},    // saved 70*6=420ms
+		{Key: "gg", Placements: 5, Shots: 1, W: 20, H: 20},     // saved 5*(-1) < 0
+		{Key: "hh", Placements: 200, Shots: 0, W: 50, H: 50},   // unsolved: skipped
+	}
+}
+
+func TestPlanCPSelection(t *testing.T) {
+	p := PlanCP(context.Background(), testClasses(), testModel())
+	if p.Viable != 4 {
+		t.Fatalf("viable = %d, want 4 (aa bb cc ff)", p.Viable)
+	}
+	var keys []string
+	for _, ch := range p.Characters {
+		keys = append(keys, ch.Key)
+	}
+	// value order: bb 1400, aa 1000, ff 420, cc 400
+	want := []string{"bb", "aa", "ff", "cc"}
+	if !reflect.DeepEqual(keys, want) {
+		t.Fatalf("selected %v, want %v", keys, want)
+	}
+	r := p.Report
+	if r.TotalPlacements != 100+50+400+10+9999+70+5+200 {
+		t.Errorf("total placements = %d", r.TotalPlacements)
+	}
+	if r.ClassSavedMS != 1400+1000+420+400 {
+		t.Errorf("gross saving = %v ms, want 3220", r.ClassSavedMS)
+	}
+	if r.WithCPWriteMS >= r.BaselineWriteMS {
+		t.Errorf("CP write %v not below baseline %v", r.WithCPWriteMS, r.BaselineWriteMS)
+	}
+	// the acceptance identity: per-class savings sum to the report total
+	sum := 0.0
+	for _, ch := range p.Characters {
+		sum += ch.SavedMS
+	}
+	if sum != r.ClassSavedMS {
+		t.Errorf("Σ per-class saved %v != reported %v", sum, r.ClassSavedMS)
+	}
+	if got := r.BaselineWriteMS - r.ClassSavedMS + r.LoadOverheadMS; got != r.WithCPWriteMS {
+		t.Errorf("write-time identity broken: %v != %v", got, r.WithCPWriteMS)
+	}
+}
+
+// TestPlanCPPackingEviction forces the knapsack's pick past what the
+// stencil can geometrically hold: five 140×140 footprints pass the
+// slot and area budgets, but a 300×340 stencil shelves only four of
+// them (two per row, two rows), so the lowest-value pick is evicted —
+// and the freed fifth slot back-fills with a small class skipped by
+// the knapsack that still fits a third, short shelf.
+func TestPlanCPPackingEviction(t *testing.T) {
+	m := testModel()
+	m.CPSlots = 5
+	m.CPStencilH = 340
+	classes := []Class{
+		{Key: "k1", Placements: 500, Shots: 10, W: 120, H: 120},
+		{Key: "k2", Placements: 400, Shots: 10, W: 120, H: 120},
+		{Key: "k3", Placements: 300, Shots: 10, W: 120, H: 120},
+		{Key: "k4", Placements: 200, Shots: 10, W: 120, H: 120},
+		{Key: "k5", Placements: 100, Shots: 10, W: 120, H: 120}, // won't fit: evicted
+		{Key: "k6", Placements: 2, Shots: 10, W: 10, H: 10},     // tiny: refilled
+	}
+	p := PlanCP(context.Background(), classes, m)
+	var keys []string
+	for _, ch := range p.Characters {
+		keys = append(keys, ch.Key)
+	}
+	want := []string{"k1", "k2", "k3", "k4", "k6"}
+	if !reflect.DeepEqual(keys, want) {
+		t.Fatalf("selected %v, want %v (drops=%d adds=%d)", keys, want, p.PackDrops, p.PackAdds)
+	}
+	if p.PackDrops != 1 || p.PackAdds != 1 {
+		t.Errorf("drops=%d adds=%d, want 1/1", p.PackDrops, p.PackAdds)
+	}
+	// no overlap, all inside the stencil
+	for i, a := range p.Characters {
+		fa := [4]float64{a.X, a.Y, a.X + a.W, a.Y + a.H}
+		if fa[0] < 0 || fa[1] < 0 || fa[2] > m.CPStencilW || fa[3] > m.CPStencilH {
+			t.Errorf("%s out of stencil: %v", a.Key, fa)
+		}
+		for _, b := range p.Characters[i+1:] {
+			if a.X < b.X+b.W && b.X < a.X+a.W && a.Y < b.Y+b.H && b.Y < a.Y+a.H {
+				t.Errorf("%s overlaps %s", a.Key, b.Key)
+			}
+		}
+	}
+}
+
+// TestPlanCPLoadOverheadGuard: when the stencil mount costs more than
+// the gross saving, the planner must return the empty plan rather than
+// a plan that loses write time.
+func TestPlanCPLoadOverheadGuard(t *testing.T) {
+	m := testModel()
+	m.CPLoadOverhead = time.Hour
+	p := PlanCP(context.Background(), testClasses(), m)
+	if len(p.Characters) != 0 {
+		t.Fatalf("unprofitable stencil planned: %d characters", len(p.Characters))
+	}
+	r := p.Report
+	if r.WithCPWriteMS != r.BaselineWriteMS || r.NetSavedMS != 0 || r.LoadOverheadMS != 0 {
+		t.Errorf("empty plan must price at baseline: %+v", r)
+	}
+}
+
+func TestPlanCPEmptyInput(t *testing.T) {
+	p := PlanCP(context.Background(), nil, testModel())
+	if len(p.Characters) != 0 || p.Report.BaselineWriteMS != 0 {
+		t.Errorf("empty mine should produce the zero plan: %+v", p)
+	}
+}
+
+// TestPlanCPGolden pins the full plan — selection, packing positions,
+// and report — against testdata/plan_golden.json. Run with -update to
+// regenerate after an intentional planner change.
+func TestPlanCPGolden(t *testing.T) {
+	p := PlanCP(context.Background(), testClasses(), testModel())
+	got, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", "plan_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("plan diverged from golden file:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestPlanCPDeterministic runs the planner repeatedly over a permuted
+// input and demands byte-identical plans.
+func TestPlanCPDeterministic(t *testing.T) {
+	classes := testClasses()
+	base, err := json.Marshal(PlanCP(context.Background(), classes, testModel()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		perm := append([]Class(nil), classes...)
+		// rotate to vary input order without randomness
+		perm = append(perm[i%len(perm):], perm[:i%len(perm)]...)
+		got, err := json.Marshal(PlanCP(context.Background(), perm, testModel()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(base, got) {
+			t.Fatalf("rotation %d changed the plan:\n%s\nvs\n%s", i, base, got)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := []Class{
+		{Key: "x", Placements: 3, Shots: 4, W: 10, H: 10},
+		{Key: "y", Placements: 1},
+	}
+	b := []Class{
+		{Key: "y", Placements: 2, Shots: 7, W: 5, H: 6},
+		{Key: "x", Placements: 5},
+	}
+	got := Merge(a, b)
+	want := []Class{
+		{Key: "x", Placements: 8, Shots: 4, W: 10, H: 10},
+		{Key: "y", Placements: 3, Shots: 7, W: 5, H: 6},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Merge = %+v, want %+v", got, want)
+	}
+}
+
+func TestWriteReportTable(t *testing.T) {
+	var buf bytes.Buffer
+	PlanCP(context.Background(), testClasses(), testModel()).WriteReport(&buf)
+	out := buf.String()
+	for _, frag := range []string{"4/4 characters", "bb", "cc", "mask cost"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("report missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestPackerShelves(t *testing.T) {
+	pk := newPacker(Budget{W: 100, H: 100})
+	type pl struct{ w, h, x, y float64 }
+	cases := []pl{
+		{60, 40, 0, 0},  // opens shelf 0
+		{40, 30, 60, 0}, // fits on shelf 0
+		{80, 50, 0, 40}, // opens shelf 1
+		{20, 10, 80, 50},
+	}
+	_ = cases[3]
+	for i, c := range cases[:3] {
+		x, y, ok := pk.place(c.w, c.h)
+		if !ok || x != c.x || y != c.y {
+			t.Fatalf("place %d = (%v,%v,%v), want (%v,%v,true)", i, x, y, ok, c.x, c.y)
+		}
+	}
+	// 20×20 no longer fits: shelves are full-height
+	if _, _, ok := pk.place(30, 20); ok {
+		t.Error("placed past stencil height")
+	}
+	// but something short enough for shelf 1's leftover width does
+	if x, y, ok := pk.place(20, 50); !ok || x != 80 || y != 40 {
+		t.Errorf("shelf-1 leftover place = (%v,%v,%v)", x, y, ok)
+	}
+}
+
+func ExamplePlan_WriteReport() {
+	m := testModel()
+	p := PlanCP(context.Background(), []Class{
+		{Key: "deadbeef", Placements: 1000, Shots: 10, W: 50, H: 50},
+	}, m)
+	fmt.Println(len(p.Characters))
+	// Output: 1
+}

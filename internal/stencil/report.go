@@ -1,0 +1,107 @@
+package stencil
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"maskfrac/internal/writecost"
+)
+
+// Report prices a stencil plan against the no-CP baseline. All times
+// are float64 milliseconds computed in one pass with a fixed summation
+// order, so ClassSavedMS is exactly the sum of the plan's per-character
+// SavedMS values and WithCPWriteMS is exactly
+// BaselineWriteMS − ClassSavedMS + LoadOverheadMS.
+type Report struct {
+	// TotalPlacements and TotalShots describe the mined mask: every
+	// placement of every class, and the VSB shots they need without CP.
+	TotalPlacements int64 `json:"total_placements"`
+	TotalShots      int64 `json:"total_shots"`
+	// CPPlacements is the number of placements written by stencil flash;
+	// CPShotsReplaced the VSB shots those flashes replace.
+	CPPlacements    int64 `json:"cp_placements"`
+	CPShotsReplaced int64 `json:"cp_shots_replaced"`
+	// BaselineWriteMS is the modeled no-CP write time; WithCPWriteMS the
+	// modeled write time with the planned stencil.
+	BaselineWriteMS float64 `json:"baseline_write_ms"`
+	WithCPWriteMS   float64 `json:"with_cp_write_ms"`
+	// ClassSavedMS is the gross saving (Σ per-character SavedMS);
+	// LoadOverheadMS the one-time stencil mount cost; NetSavedMS their
+	// difference (= BaselineWriteMS − WithCPWriteMS).
+	ClassSavedMS   float64 `json:"class_saved_ms"`
+	LoadOverheadMS float64 `json:"load_overhead_ms"`
+	NetSavedMS     float64 `json:"net_saved_ms"`
+	// CostReduction is the fractional mask cost reduction; DollarSavings
+	// the projected mask-set savings.
+	CostReduction float64 `json:"cost_reduction"`
+	DollarSavings float64 `json:"dollar_savings"`
+}
+
+// price fills the plan's report from the full mined class table and the
+// cost model. Deliberately additive in a fixed order so the identities
+// documented on Report hold bit-for-bit.
+func (p *Plan) price(classes []Class, m writecost.Model) {
+	shotMS := ms(m.ShotTime)
+	r := Report{LoadOverheadMS: ms(m.CPLoadOverhead)}
+	for _, c := range classes {
+		r.TotalPlacements += c.Placements
+		r.TotalShots += c.Placements * int64(c.Shots)
+	}
+	r.BaselineWriteMS = ms(m.Overhead) + float64(r.TotalShots)*shotMS
+	for _, ch := range p.Characters {
+		r.CPPlacements += ch.Placements
+		r.CPShotsReplaced += ch.Placements * int64(ch.Shots)
+		r.ClassSavedMS += ch.SavedMS
+	}
+	if len(p.Characters) == 0 {
+		r.LoadOverheadMS = 0
+		r.WithCPWriteMS = r.BaselineWriteMS
+	} else {
+		r.WithCPWriteMS = r.BaselineWriteMS - r.ClassSavedMS + r.LoadOverheadMS
+	}
+	r.NetSavedMS = r.BaselineWriteMS - r.WithCPWriteMS
+	if r.BaselineWriteMS > 0 {
+		r.CostReduction = m.WriteFraction * (r.NetSavedMS / r.BaselineWriteMS)
+		r.DollarSavings = m.MaskSetCost * r.CostReduction
+	}
+	p.Report = r
+}
+
+// WriteReport prints the plan as a human-readable table: headline
+// numbers first, then the per-class contribution table in value order.
+func (p *Plan) WriteReport(w io.Writer) {
+	r := p.Report
+	fmt.Fprintf(w, "stencil plan: %d/%d characters (viable %d of %d classes, %d pack drops, %d refills)\n",
+		len(p.Characters), p.Budget.Slots, p.Viable, p.Candidates, p.PackDrops, p.PackAdds)
+	fmt.Fprintf(w, "  mask: %d placements, %d VSB shots; CP covers %d placements (%d shots replaced)\n",
+		r.TotalPlacements, r.TotalShots, r.CPPlacements, r.CPShotsReplaced)
+	fmt.Fprintf(w, "  write time: %v -> %v (saved %v gross, %v stencil load, %v net)\n",
+		fmtMS(r.BaselineWriteMS), fmtMS(r.WithCPWriteMS),
+		fmtMS(r.ClassSavedMS), fmtMS(r.LoadOverheadMS), fmtMS(r.NetSavedMS))
+	fmt.Fprintf(w, "  mask cost: -%.3f%% ($%.0f of a mask set)\n", 100*r.CostReduction, r.DollarSavings)
+	if len(p.Characters) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "  %-16s %10s %6s %9s %12s %10s\n", "class", "placements", "shots", "size nm", "stencil xy", "saved")
+	for _, ch := range p.Characters {
+		key := ch.Key
+		if len(key) > 16 {
+			key = key[:16]
+		}
+		fmt.Fprintf(w, "  %-16s %10d %6d %4.0fx%-4.0f %5.0f,%-6.0f %10s\n",
+			key, ch.Placements, ch.Shots, ch.W, ch.H, ch.X, ch.Y, fmtMS(ch.SavedMS))
+	}
+}
+
+// fmtMS renders a float millisecond quantity as a rounded duration.
+func fmtMS(v float64) string {
+	d := time.Duration(v * float64(time.Millisecond))
+	switch {
+	case d >= time.Hour:
+		return d.Round(time.Second).String()
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	}
+	return d.Round(time.Microsecond).String()
+}

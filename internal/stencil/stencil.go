@@ -1,0 +1,83 @@
+// Package stencil plans a character-projection (CP) stencil for a whole
+// mask write, in the spirit of E-BLOW (Yu et al., arXiv:1402.2435): an
+// e-beam tool that carries a stencil of pre-etched characters writes a
+// placement of a stenciled shape in ONE flash instead of its
+// variable-shaped-beam shot list, so putting the highest-traffic
+// congruence classes on the bounded stencil cuts total write time —
+// and write time is mask cost.
+//
+// The subsystem has three parts:
+//
+//   - a miner that aggregates per-congruence-class placement counts and
+//     solved shot counts from the cluster's shape caches (Merge over the
+//     per-node /stats class tables),
+//   - a planner that selects which classes become stencil characters
+//     under the slot/area budget (greedy knapsack over write-time value
+//     with a packing-aware refinement pass; see plan.go), and
+//   - a reporter that prices the plan with the writecost model (total
+//     mask write time and cost with vs. without CP, per-class
+//     contribution table; see report.go).
+package stencil
+
+import (
+	"sort"
+)
+
+// Class is one congruence-class candidate for the stencil: how often it
+// appears on the mask, what its VSB solution costs, and how big its
+// canonical footprint is.
+type Class struct {
+	// Key is the canonical cache key of the class, hex-encoded.
+	Key string `json:"key"`
+	// Placements is how many mask placements belong to the class.
+	Placements int64 `json:"placements"`
+	// Shots is the class's solved VSB shot count per placement.
+	Shots int `json:"shots"`
+	// W, H is the canonical-frame bounding box of the solved shot list
+	// in nm — the area the character occupies on the stencil.
+	W float64 `json:"w"`
+	H float64 `json:"h"`
+}
+
+// Merge combines per-node class tables into one mask-wide view. The
+// same key can be reported by several nodes (failover and hedging
+// scatter a class's requests), so placement counts sum; the solution
+// shape (shots, bbox) takes the first non-zero report. The result is
+// sorted by placements descending with the key as the deterministic
+// tie-break.
+func Merge(lists ...[]Class) []Class {
+	byKey := make(map[string]*Class)
+	order := make([]string, 0)
+	for _, list := range lists {
+		for _, c := range list {
+			m := byKey[c.Key]
+			if m == nil {
+				cc := c
+				byKey[c.Key] = &cc
+				order = append(order, c.Key)
+				continue
+			}
+			m.Placements += c.Placements
+			if m.Shots == 0 {
+				m.Shots, m.W, m.H = c.Shots, c.W, c.H
+			}
+		}
+	}
+	out := make([]Class, 0, len(order))
+	for _, k := range order {
+		out = append(out, *byKey[k])
+	}
+	SortClasses(out)
+	return out
+}
+
+// SortClasses orders classes by placements descending, then key
+// ascending — the canonical mining order.
+func SortClasses(s []Class) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Placements != s[j].Placements {
+			return s[i].Placements > s[j].Placements
+		}
+		return s[i].Key < s[j].Key
+	})
+}

@@ -27,16 +27,42 @@ type Model struct {
 	// MaskSetCost is the cost of a full mask set in dollars (the paper
 	// cites > $1M for a modern design).
 	MaskSetCost float64
+
+	// Character-projection (CP) parameters, E-BLOW-style: a CP tool
+	// carries a stencil of pre-etched characters; a placement whose
+	// shape is on the stencil writes in one flash instead of its
+	// variable-shaped-beam shot list.
+
+	// CPFlashTime is the time for one character-projection flash
+	// (exposure + settling). A complex character needs more dose
+	// settling than a plain VSB rectangle, so it is modeled slower than
+	// ShotTime.
+	CPFlashTime time.Duration
+	// CPSlots is the number of character slots the stencil offers.
+	CPSlots int
+	// CPStencilW and CPStencilH bound the stencil's usable area, in
+	// mask nm: selected characters must pack into this rectangle
+	// without overlap.
+	CPStencilW, CPStencilH float64
+	// CPLoadOverhead is the fixed per-mask cost of mounting and
+	// registering the stencil; a plan only pays off when its flash
+	// savings beat it.
+	CPLoadOverhead time.Duration
 }
 
 // Default returns the parameterization used by the paper's
 // introduction.
 func Default() Model {
 	return Model{
-		ShotTime:      500 * time.Nanosecond,
-		Overhead:      4 * time.Hour,
-		WriteFraction: 0.20,
-		MaskSetCost:   1_500_000,
+		ShotTime:       500 * time.Nanosecond,
+		Overhead:       4 * time.Hour,
+		WriteFraction:  0.20,
+		MaskSetCost:    1_500_000,
+		CPFlashTime:    time.Microsecond,
+		CPSlots:        40,
+		CPStencilW:     2000,
+		CPStencilH:     2000,
+		CPLoadOverhead: time.Minute,
 	}
 }
 
@@ -44,6 +70,37 @@ func Default() Model {
 // total shot count.
 func (m Model) WriteTime(shots int64) time.Duration {
 	return m.Overhead + time.Duration(shots)*m.ShotTime
+}
+
+// WriteTimeCP returns the estimated write time for a mask written with
+// a mixed VSB + character-projection strategy: vsbShots rectangles at
+// ShotTime each plus cpFlashes character flashes at CPFlashTime each.
+// The stencil load overhead is paid once, and only when the stencil is
+// actually used (cpFlashes > 0).
+func (m Model) WriteTimeCP(vsbShots, cpFlashes int64) time.Duration {
+	t := m.Overhead + time.Duration(vsbShots)*m.ShotTime + time.Duration(cpFlashes)*m.CPFlashTime
+	if cpFlashes > 0 {
+		t += m.CPLoadOverhead
+	}
+	return t
+}
+
+// CostReductionTime returns the fractional mask cost reduction achieved
+// by lowering the write time from base to reduced, under the same
+// write-cost-scales-with-beam-time assumption as CostReduction. With
+// zero Overhead, CostReductionTime(WriteTime(a), WriteTime(b)) equals
+// CostReduction(a, b).
+func (m Model) CostReductionTime(base, reduced time.Duration) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return m.WriteFraction * (1 - float64(reduced)/float64(base))
+}
+
+// DollarSavingsTime returns the estimated mask-set savings from a
+// write-time reduction.
+func (m Model) DollarSavingsTime(base, reduced time.Duration) float64 {
+	return m.MaskSetCost * m.CostReductionTime(base, reduced)
 }
 
 // CostReduction returns the fractional mask cost reduction achieved by

@@ -61,6 +61,82 @@ func TestSummaryContainsFields(t *testing.T) {
 	}
 }
 
+func TestCPDefaults(t *testing.T) {
+	m := Default()
+	if m.CPFlashTime <= 0 || m.CPSlots <= 0 || m.CPStencilW <= 0 || m.CPStencilH <= 0 {
+		t.Fatalf("Default() missing CP parameters: %+v", m)
+	}
+	if m.CPFlashTime < m.ShotTime {
+		t.Errorf("CP flash (%v) modeled faster than a VSB shot (%v)", m.CPFlashTime, m.ShotTime)
+	}
+}
+
+func TestWriteTimeCP(t *testing.T) {
+	m := Model{
+		ShotTime:       time.Microsecond,
+		Overhead:       time.Hour,
+		CPFlashTime:    2 * time.Microsecond,
+		CPLoadOverhead: time.Minute,
+	}
+	// no CP use: identical to WriteTime, no load overhead
+	if got, want := m.WriteTimeCP(1000, 0), m.WriteTime(1000); got != want {
+		t.Errorf("no-CP WriteTimeCP = %v, want %v", got, want)
+	}
+	// CP use pays the load overhead once plus per-flash time
+	got := m.WriteTimeCP(1000, 10)
+	want := time.Hour + time.Minute + 1000*time.Microsecond + 20*time.Microsecond
+	if got != want {
+		t.Errorf("WriteTimeCP(1000,10) = %v, want %v", got, want)
+	}
+}
+
+// TestCPCostReductionInteraction ties the CP write-time model to the
+// paper's cost argument: replacing shot lists with flashes must price
+// out identically whether the reduction is expressed in shots (when
+// the comparison is purely shot-count) or in write time.
+func TestCPCostReductionInteraction(t *testing.T) {
+	m := Default()
+	m.Overhead = 0 // isolate beam time
+
+	// pure shot-count reduction: the two formulations agree
+	base, reduced := int64(1_000_000_000), int64(770_000_000)
+	viaShots := m.CostReduction(base, reduced)
+	viaTime := m.CostReductionTime(m.WriteTime(base), m.WriteTime(reduced))
+	if math.Abs(viaShots-viaTime) > 1e-12 {
+		t.Errorf("shot-count (%v) and write-time (%v) cost reductions diverge", viaShots, viaTime)
+	}
+
+	// a CP plan that replaces 300M of 1G shots (30 shots/placement,
+	// 10M placements) with 10M flashes: the saved beam time must show
+	// up as a positive cost reduction, smaller than the raw shot-count
+	// reduction because flashes and the stencil load are not free
+	m.CPLoadOverhead = time.Second
+	withCP := m.WriteTimeCP(base-300_000_000, 10_000_000)
+	cr := m.CostReductionTime(m.WriteTime(base), withCP)
+	if cr <= 0 {
+		t.Fatalf("profitable CP plan priced at %v cost reduction", cr)
+	}
+	if upper := m.CostReduction(base, base-300_000_000); cr >= upper {
+		t.Errorf("CP cost reduction %v not below free-flash bound %v", cr, upper)
+	}
+	if ds := m.DollarSavingsTime(m.WriteTime(base), withCP); math.Abs(ds-m.MaskSetCost*cr) > 1e-6 {
+		t.Errorf("DollarSavingsTime = %v, want %v", ds, m.MaskSetCost*cr)
+	}
+}
+
+func TestCostReductionTimeEdge(t *testing.T) {
+	m := Default()
+	if m.CostReductionTime(0, time.Hour) != 0 {
+		t.Error("zero base should give zero reduction")
+	}
+	if m.CostReductionTime(time.Hour, time.Hour) != 0 {
+		t.Error("no reduction should give zero")
+	}
+	if got := m.CostReductionTime(time.Hour, 2*time.Hour); got >= 0 {
+		t.Errorf("regression should price negative, got %v", got)
+	}
+}
+
 func TestCostReductionQuick(t *testing.T) {
 	m := Default()
 	f := func(base, reduced uint16) bool {

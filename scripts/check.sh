@@ -38,6 +38,14 @@ go test -race -run 'TestE2E' ./internal/fracserve
 echo "== go test -race cluster e2e (3-node smoke) =="
 go test -race -run 'TestClusterE2E' ./internal/cluster
 
+# the stencil planner e2e mines per-class placement stats from all 3
+# nodes of a live cluster (/stats?classes=K), plans a CP stencil, and
+# asserts the plan beats the no-CP baseline, the per-class savings sum
+# exactly to the reported total, and a re-mine + re-plan is
+# byte-identical — the determinism contract the golden test pins
+echo "== go test -race stencil plan e2e (3-node mine) =="
+go test -race -run 'TestStencilPlanE2E' ./internal/cluster
+
 # the soak smoke holds 3 in-process nodes at a steady QPS for a few
 # seconds under the race detector and asserts a gap-free rolling time
 # series (zero dropped windows) plus at least one complete cross-node
