@@ -51,6 +51,28 @@ type ClassStat = shapecache.ClassStat
 // LRU eviction of their entries.
 func (sc *ShapeCache) TopClasses(k int) []ClassStat { return sc.c.TopClasses(k) }
 
+// CacheKey identifies a congruence class in the shape cache.
+type CacheKey = shapecache.Key
+
+// AddClassUses credits the congruence class k with n extra placements
+// without running a lookup. Batch clients that memoize congruent
+// placements locally (the cluster pipeline's class memo) collapse many
+// placements into one request, which would starve the stencil
+// planner's frequency signal; they call this to report the collapsed
+// multiplicity.
+func (sc *ShapeCache) AddClassUses(k CacheKey, n uint64) { sc.c.AddClassUses(k, n) }
+
+// CacheKeyFor returns the key FractureCached files the query under:
+// the canonical form of target hashed together with the parameters,
+// method and options. Callers crediting class statistics out of band
+// (AddClassUses) use it to address the same record the solve created.
+func CacheKeyFor(target Polygon, params Params, m Method, opt *Options) (CacheKey, error) {
+	if err := target.Validate(); err != nil {
+		return CacheKey{}, fmt.Errorf("maskfrac: invalid target: %w", err)
+	}
+	return shapecache.Canonicalize(target).KeyWith(fractureKeyExtra(params, m, opt)), nil
+}
+
 // cachedSolution is the per-entry metadata stored next to the
 // canonical-frame shot list.
 type cachedSolution struct {
@@ -60,6 +82,10 @@ type cachedSolution struct {
 	Runtime  time.Duration
 	EvalTime time.Duration
 	Stage    *StageInfo
+	// Pairs are the run's L-shot pairs as indices into the shot list.
+	// ToCanonical/FromCanonical preserve element order, so the indices
+	// are valid in both the canonical and the query frame.
+	Pairs [][2]int
 }
 
 // FractureCached samples and fractures one target, consulting the
@@ -95,11 +121,13 @@ func FractureCached(ctx context.Context, target Polygon, params Params, m Method
 			Runtime:  res.Runtime,
 			EvalTime: res.EvalTime,
 			Stage:    res.Stage,
+			Pairs:    res.LPairs,
 		}
 		return &shapecache.Entry{
 			Shots: canon.ToCanonical(res.Shots),
+			Pairs: res.LPairs,
 			Meta:  sol,
-			Bytes: entryBytes(len(res.Shots)),
+			Bytes: entryBytes(len(res.Shots), len(res.LPairs)),
 		}, nil
 	})
 	if err != nil {
@@ -113,6 +141,7 @@ func FractureCached(ctx context.Context, target Polygon, params Params, m Method
 	res := &Result{
 		Method:   m,
 		Shots:    canon.FromCanonical(entry.Shots),
+		LPairs:   sol.Pairs,
 		FailOn:   sol.FailOn,
 		FailOff:  sol.FailOff,
 		Cost:     sol.Cost,
@@ -173,7 +202,7 @@ func fractureKeyExtra(params Params, m Method, opt *Options) []byte {
 }
 
 // entryBytes estimates the memory footprint of a cache entry.
-func entryBytes(shots int) int64 {
+func entryBytes(shots, pairs int) int64 {
 	const overhead = 160 // key, metadata struct, list/map bookkeeping
-	return int64(shots)*32 + overhead
+	return int64(shots)*32 + int64(pairs)*16 + overhead
 }

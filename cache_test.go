@@ -84,6 +84,41 @@ func TestFractureCachedCongruentShapesSolveOnce(t *testing.T) {
 	}
 }
 
+// TestFractureCachedLPairsRoundTrip: L-shot pairs stored on a miss come
+// back on every congruent hit, with indices valid for the frame-mapped
+// shot list (canonicalization preserves shot order).
+func TestFractureCachedLPairsRoundTrip(t *testing.T) {
+	base := asymmetricL()
+	cache := NewShapeCache(64)
+	params := DefaultParams()
+	miss, hit0, err := FractureCached(context.Background(), base, params, MethodMBFL, nil, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit0 {
+		t.Fatal("first query hit an empty cache")
+	}
+	if len(miss.LPairs) == 0 {
+		t.Fatal("no L-pairs on an L-shaped target")
+	}
+	for i, q := range []Polygon{translated(base, 500, 500), rotated90(base), mirrored(base)} {
+		res, hit, err := FractureCached(context.Background(), q, params, MethodMBFL, nil, cache)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if !hit {
+			t.Fatalf("query %d: congruent shape missed", i)
+		}
+		if len(res.LPairs) != len(miss.LPairs) {
+			t.Fatalf("query %d: %d pairs, want %d", i, len(res.LPairs), len(miss.LPairs))
+		}
+		checkLPairs(t, res)
+		if res.FlashCount() != miss.FlashCount() {
+			t.Errorf("query %d: flashes %d, want %d", i, res.FlashCount(), miss.FlashCount())
+		}
+	}
+}
+
 func TestFractureCachedMatchesUncachedOnTranslations(t *testing.T) {
 	// the solver is exactly translation-invariant (the grid anchors to
 	// the shape's bounding box), so cached results for translated

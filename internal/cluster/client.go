@@ -1,10 +1,12 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -97,13 +99,21 @@ func (c Config) withDefaults() Config {
 // canonical frame of the class (shots map to any placement through
 // shapecache.Canonical.FromCanonical).
 type ClassResult struct {
-	Key       shapecache.Key
-	Shots     []geom.Rect // nil unless Config.WantShots
+	Key   shapecache.Key
+	Shots []geom.Rect // nil unless Config.WantShots
+	// LPairs lists L-shot pairs as {i, j} indices into the class's shot
+	// list (present only for L-capable methods). The indices survive the
+	// canonical→placement frame mapping, which preserves shot order.
+	LPairs [][2]int
+	// ShotCount is the number of rectangle entries in the solution
+	// (each L-shot pair contributes two).
 	ShotCount int
-	FailOn    int
-	FailOff   int
-	Cost      float64
-	Feasible  bool
+	// FlashCount is the beam flash count: ShotCount minus len(LPairs).
+	FlashCount int
+	FailOn     int
+	FailOff    int
+	Cost       float64
+	Feasible   bool
 	// CacheHit reports whether the owning node answered from its cache
 	// shard.
 	CacheHit bool
@@ -413,15 +423,17 @@ func (c *Client) solveRouted(ctx context.Context, key shapecache.Key, poly geom.
 // set, callers rely on Shots being present.
 func classResult(key shapecache.Key, item *fracserve.ItemResult, nodeID string) (*ClassResult, error) {
 	res := &ClassResult{
-		Key:       key,
-		ShotCount: item.ShotCount,
-		FailOn:    item.FailOn,
-		FailOff:   item.FailOff,
-		Cost:      item.Cost,
-		Feasible:  item.Feasible,
-		CacheHit:  item.CacheHit,
-		Node:      nodeID,
-		SolveMS:   item.SolveMS,
+		Key:        key,
+		LPairs:     item.LPairs,
+		ShotCount:  item.ShotCount,
+		FlashCount: item.ShotCount - len(item.LPairs),
+		FailOn:     item.FailOn,
+		FailOff:    item.FailOff,
+		Cost:       item.Cost,
+		Feasible:   item.Feasible,
+		CacheHit:   item.CacheHit,
+		Node:       nodeID,
+		SolveMS:    item.SolveMS,
 	}
 	if item.Shots != nil {
 		shots, err := item.ShotRects()
@@ -431,6 +443,69 @@ func classResult(key shapecache.Key, item *fracserve.ItemResult, nodeID string) 
 		res.Shots = shots
 	}
 	return res, nil
+}
+
+// ClassUse is one class's collapsed placement multiplicity for
+// ReportClassUses: a representative polygon of the class (the server
+// re-derives the class key from it) and the placements to credit.
+type ClassUse struct {
+	Poly geom.Polygon
+	Uses uint64
+}
+
+// ReportClassUses credits each class with extra placements on the node
+// that owns it on the ring, so per-node class statistics (mined by the
+// stencil planner through /stats?classes=K) count mask placements
+// rather than wire requests. Batch callers that memoize class results
+// locally — RunPipeline — call this once per run with the collapsed
+// multiplicities. Reporting is best-effort: per-node failures are
+// logged and skipped, and the number of classes actually credited is
+// returned.
+func (c *Client) ReportClassUses(ctx context.Context, uses map[shapecache.Key]ClassUse) int {
+	if len(uses) == 0 {
+		return 0
+	}
+	// group classes by ring owner, in deterministic (routing-key) order
+	type keyed struct {
+		key shapecache.Key
+		cu  ClassUse
+	}
+	byNode := make(map[string][]keyed)
+	for key, cu := range uses {
+		if cu.Uses == 0 || cu.Poly == nil {
+			continue
+		}
+		id := c.ring.Lookup(key)
+		if id == "" {
+			continue
+		}
+		byNode[id] = append(byNode[id], keyed{key: key, cu: cu})
+	}
+	credited := 0
+	for id, classes := range byNode {
+		c.mu.Lock()
+		n := c.nodes[id]
+		c.mu.Unlock()
+		if n == nil {
+			continue
+		}
+		sort.Slice(classes, func(i, j int) bool {
+			return bytes.Compare(classes[i].key[:], classes[j].key[:]) < 0
+		})
+		req := &fracserve.ClassUsesRequest{Method: c.cfg.Method, Params: c.cfg.Params}
+		for _, k := range classes {
+			req.Classes = append(req.Classes, fracserve.ClassUse{
+				Shape: maskio.PolygonWire(k.cu.Poly), Uses: k.cu.Uses,
+			})
+		}
+		reply, err := n.fc.ReportClassUses(ctx, req)
+		if err != nil {
+			c.log.Warn("class-use report failed", "node", id, "classes", len(classes), "err", err.Error())
+			continue
+		}
+		credited += reply.Credited
+	}
+	return credited
 }
 
 // tryNode attempts one node with bounded in-flight work and

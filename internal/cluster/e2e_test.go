@@ -217,6 +217,52 @@ func placementPolygon(t *testing.T, lib *maskio.Library, pr *PlacementResult) ge
 	return got
 }
 
+// TestClusterE2EClassUseCredit: after a pipeline run the cluster-wide
+// class statistics count mask placements, not wire requests — the
+// memo collapses repeated classes into one request, and the pipeline
+// reports the collapsed multiplicities back to the owning nodes via
+// POST /stats/classes.
+func TestClusterE2EClassUseCredit(t *testing.T) {
+	c, nodes := startCluster(t, 3, Config{})
+	lib := e2eLib()
+	ctx := context.Background()
+	wantPlacements, err := lib.PlacementCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantClasses := distinctClasses(t, lib, "proto-eda")
+
+	mr, err := RunPipeline(ctx, c, lib, PipelineConfig{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.ClassUsesCredited == 0 {
+		t.Error("no class multiplicities credited despite repeated classes")
+	}
+	var placements int64
+	classes := 0
+	for _, n := range nodes {
+		st, err := fracserve.NewClient(n.ts.URL).StatsTop(ctx, 0)
+		if err != nil {
+			t.Fatalf("stats %s: %v", n.id, err)
+		}
+		classes += len(st.TopClasses)
+		for _, cl := range st.TopClasses {
+			placements += cl.Placements
+		}
+	}
+	if classes != wantClasses {
+		t.Errorf("cluster-wide tracked classes = %d, want %d", classes, wantClasses)
+	}
+	if placements != wantPlacements {
+		t.Errorf("cluster-wide class placements = %d, want %d (wire requests were %d)",
+			placements, wantPlacements, mr.ClusterRequests)
+	}
+	if mr.Flashes != mr.Shots {
+		t.Errorf("rectangle-only method reported flashes %d != shots %d", mr.Flashes, mr.Shots)
+	}
+}
+
 // TestClusterE2ENodeFailure kills one node mid-run: retries and
 // failover must complete the mask with zero lost placements.
 func TestClusterE2ENodeFailure(t *testing.T) {

@@ -79,12 +79,20 @@ type MaskResult struct {
 	// Shots is the mask total: each class's shot count times its
 	// placement multiplicity.
 	Shots int64
+	// Flashes is the mask's beam flash total: Shots minus the classes'
+	// L-shot pairs times their multiplicities. Equal to Shots for
+	// rectangle-only methods; this is what the write time is priced on.
+	Flashes int64
 	// FailOn/FailOff total CD violations across all placements.
 	FailOn, FailOff int64
 	// Infeasible counts placements whose class solution violates CD
 	// constraints.
 	Infeasible int64
-	// WriteTime is the modeled mask write time for Shots.
+	// ClassUsesCredited is the number of classes whose memoized
+	// placement multiplicity was reported back to the owning nodes'
+	// statistics after the run (see Client.ReportClassUses).
+	ClassUsesCredited int
+	// WriteTime is the modeled mask write time for Flashes.
 	WriteTime time.Duration
 	// Elapsed is the wall-clock run time.
 	Elapsed time.Duration
@@ -153,6 +161,11 @@ func RunPipeline(ctx context.Context, c *Client, lib *maskio.Library, cfg Pipeli
 		memo     = classMemo{m: make(map[shapecache.Key]*memoEntry)}
 		firstErr error
 		errOnce  sync.Once
+		// classPoly keeps one representative canonical polygon per class
+		// so the post-run multiplicity report can address the owning
+		// node's record (the server re-derives its key from the shape).
+		polyMu    sync.Mutex
+		classPoly = make(map[shapecache.Key]geom.Polygon)
 	)
 	fail := func(err error) {
 		errOnce.Do(func() { firstErr = err; cancel() })
@@ -195,9 +208,14 @@ func RunPipeline(ctx context.Context, c *Client, lib *maskio.Library, cfg Pipeli
 	for w := 0; w < cfg.Workers; w++ {
 		go func() {
 			for j := range jobs {
-				res, _, err := memo.resolve(ctx, j.key, func() (*ClassResult, error) {
+				res, leader, err := memo.resolve(ctx, j.key, func() (*ClassResult, error) {
 					return c.SolveClass(ctx, j.key, j.can.Poly)
 				})
+				if leader {
+					polyMu.Lock()
+					classPoly[j.key] = j.can.Poly
+					polyMu.Unlock()
+				}
 				if err != nil {
 					fail(fmt.Errorf("cluster: placement %d (%s): %w", j.pl.Seq, j.pl.Cell, err))
 					close(j.fut)
@@ -220,9 +238,13 @@ func RunPipeline(ctx context.Context, c *Client, lib *maskio.Library, cfg Pipeli
 		}()
 	}
 
-	// consumer: drain futures in walk order and aggregate.
+	// consumer: drain futures in walk order and aggregate. uses counts
+	// each class's placement multiplicity — the memo collapses repeats
+	// into one wire request, so the owning node's statistics see one
+	// lookup where the mask has uses[key] placements; the surplus is
+	// reported back after the run.
 	mr := &MaskResult{}
-	seen := make(map[shapecache.Key]struct{})
+	uses := make(map[shapecache.Key]uint64)
 	aborted := false
 	for fut := range order {
 		pr, ok := <-fut
@@ -232,17 +254,18 @@ func RunPipeline(ctx context.Context, c *Client, lib *maskio.Library, cfg Pipeli
 		}
 		mr.Placements++
 		mr.Shots += int64(pr.Class.ShotCount)
+		mr.Flashes += int64(pr.Class.ShotCount - len(pr.Class.LPairs))
 		mr.FailOn += int64(pr.Class.FailOn)
 		mr.FailOff += int64(pr.Class.FailOff)
 		if !pr.Class.Feasible {
 			mr.Infeasible++
 		}
-		if _, dup := seen[pr.Key]; !dup {
-			seen[pr.Key] = struct{}{}
+		if uses[pr.Key] == 0 {
 			if pr.Class.CacheHit {
 				mr.NodeCacheHits++
 			}
 		}
+		uses[pr.Key]++
 		// honor the documented abort contract: once a failure is
 		// recorded, later placements still drain (to release workers)
 		// but are no longer observed.
@@ -256,11 +279,23 @@ func RunPipeline(ctx context.Context, c *Client, lib *maskio.Library, cfg Pipeli
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	mr.Classes = len(seen)
-	mr.ClusterRequests = int64(len(seen))
-	mr.WriteTime = cfg.WriteModel.WriteTime(mr.Shots)
+	mr.Classes = len(uses)
+	mr.ClusterRequests = int64(len(uses))
+	mr.WriteTime = cfg.WriteModel.WriteTime(mr.Flashes)
+	// report memoized multiplicities: each class's wire request already
+	// credited one placement on the owning node, so only the collapsed
+	// surplus (count − 1) is reported. Without this the stencil planner
+	// would mine request counts and undervalue heavily repeated classes.
+	extras := make(map[shapecache.Key]ClassUse)
+	for key, n := range uses {
+		if n > 1 {
+			extras[key] = ClassUse{Poly: classPoly[key], Uses: n - 1}
+		}
+	}
+	mr.ClassUsesCredited = c.ReportClassUses(ctx, extras)
 	mr.Elapsed = time.Since(start)
 	span.Set("placements", mr.Placements)
 	span.Set("classes", mr.Classes)
+	span.Set("class_uses_credited", mr.ClassUsesCredited)
 	return mr, nil
 }

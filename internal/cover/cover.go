@@ -468,6 +468,12 @@ var evalCheckEnv = os.Getenv("MASKFRAC_EVAL_CHECK") != ""
 // zero whenever no pixel fails, and RecomputeStats re-anchors it on
 // demand). FailOn/FailOff counts and the bitmaps are exact.
 //
+// Shots may be merged pairwise into L-shots (Pair/Unpair, see
+// lshot.go): a paired shot keeps its slot in Shots but the pair shares
+// one dose — the overlap term is subtracted so the pair delivers the
+// dose of a single L-aperture flash over the union, and it prices as
+// one flash. Every mutator below stays incremental on paired shots.
+//
 // An Eval is not safe for concurrent use.
 type Eval struct {
 	P     *Problem
@@ -477,6 +483,11 @@ type Eval struct {
 	stats   Stats
 	failOn  *raster.Bitmap
 	failOff *raster.Bitmap
+
+	// partner[i] is the index of the shot L-paired with shot i, −1 when
+	// shot i is an unpaired rectangle. Symmetric: partner[partner[i]]
+	// == i for every paired i. Maintained by every structural mutator.
+	partner []int
 
 	// Evals counts constraint evaluations (Stats queries and DeltaCost
 	// scorings) since construction — the solver effort measure reported
@@ -559,10 +570,12 @@ func (e *Eval) SetCrossCheck(on bool) { e.check = on }
 // Reset replaces the entire configuration with the given shots and
 // rebuilds dose and violation state from scratch: O(grid + Σ support
 // boxes). Use it to restore a snapshot; single-shot changes should go
-// through the incremental mutators instead.
+// through the incremental mutators instead. Reset clears all L-shot
+// pairing — use ResetPaired to restore a paired snapshot.
 func (e *Eval) Reset(shots []geom.Rect) {
 	clear(e.Dose.V)
 	e.Shots = append(e.Shots[:0], shots...)
+	e.resetPartners(len(e.Shots))
 	for _, s := range e.Shots {
 		e.accBuf = e.P.Model.AccumulateShotBuf(e.Dose, s, 1, e.accBuf)
 	}
@@ -615,6 +628,7 @@ func (e *Eval) RecomputeStats() Stats {
 // support box into the maintained violation state: O(support box).
 func (e *Eval) Add(s geom.Rect) {
 	e.Shots = append(e.Shots, s)
+	e.partner = append(e.partner, -1)
 	e.applyShot(s, 1)
 	if e.check {
 		e.crossCheck("Add")
@@ -630,12 +644,27 @@ func (e *Eval) Add(s geom.Rect) {
 // than i and len-1 remain valid, the index len-1 becomes invalid, and
 // the shot previously at len-1 is now at i. Removing in descending
 // index order, or re-deriving indices after each removal, sidesteps the
-// issue. UndoRemove is the exact inverse, restoring the original order.
+// issue. UndoRemove is the exact inverse of the swap-delete, restoring
+// the original order — but not L-shot pairing: removing a paired shot
+// first splits its pair (restoring the overlap dose), and UndoRemove
+// brings both shots back as independent rectangles.
 func (e *Eval) Remove(i int) {
+	if e.partner[i] >= 0 {
+		e.Unpair(i)
+	}
 	s := e.Shots[i]
 	last := len(e.Shots) - 1
 	e.Shots[i] = e.Shots[last]
 	e.Shots = e.Shots[:last]
+	// swap-delete the partner slot too, redirecting the moved shot's
+	// partner (never i itself: i was just unpaired)
+	e.partner[i] = e.partner[last]
+	e.partner = e.partner[:last]
+	if i < last {
+		if p := e.partner[i]; p >= 0 {
+			e.partner[p] = i
+		}
+	}
 	e.applyShot(s, -1)
 	if e.check {
 		e.crossCheck("Remove")
@@ -747,7 +776,10 @@ func (e *Eval) finishMutation(px int) {
 
 // SetShot replaces shot i with s, updating dose and violation state by
 // scanning only the strips around the moved edges: O(changed strips),
-// the same region DeltaCost scores.
+// the same region DeltaCost scores. When shot i is one arm of an
+// L-shot and the move changes the pair's overlap rectangle, the
+// overlap correction commits as a second strip scan, so moving an arm
+// stays O(changed strips + overlap support).
 func (e *Eval) SetShot(i int, s geom.Rect) {
 	old := e.Shots[i]
 	if old == s {
@@ -755,6 +787,22 @@ func (e *Eval) SetShot(i int, s geom.Rect) {
 	}
 	e.Shots[i] = s
 	e.moveScan(old, s, true)
+	if j := e.partner[i]; j >= 0 {
+		oOld := pairOverlap(old, e.Shots[j])
+		oNew := pairOverlap(s, e.Shots[j])
+		if oOld != oNew {
+			// the pair's dose carries −I_overlap: re-point the negative
+			// term from the old overlap to the new one
+			switch {
+			case oOld == (geom.Rect{}):
+				e.applyShot(oNew, -1)
+			case oNew == (geom.Rect{}):
+				e.applyShot(oOld, 1)
+			default:
+				e.moveScan(oNew, oOld, true) // dose += I_oOld − I_oNew
+			}
+		}
+	}
 	if e.check {
 		e.crossCheck("SetShot")
 	}
@@ -830,7 +878,7 @@ func (e *Eval) crossCheck(op string) {
 		math.Abs(own.Cost-e.stats.Cost) > tol {
 		panic(fmt.Sprintf("cover: %s cross-check: maintained %+v != dose scan %+v", op, e.stats, own))
 	}
-	scratch := p.Evaluate(e.Shots)
+	scratch := p.EvaluatePaired(e.Shots, e.Pairs())
 	if scratch.FailOn != e.stats.FailOn || scratch.FailOff != e.stats.FailOff ||
 		math.Abs(scratch.Cost-e.stats.Cost) > tol {
 		panic(fmt.Sprintf("cover: %s cross-check: maintained %+v != from-scratch %+v", op, e.stats, scratch))
@@ -842,12 +890,25 @@ func (e *Eval) crossCheck(op string) {
 // pixels whose dose changes (the union of the strips around moved edges)
 // are visited, which makes candidate scoring during shot refinement
 // cheap (paper §4.1). Commit the move afterwards with ApplyDelta.
+//
+// For a paired shot whose replacement changes the L-shot's overlap
+// rectangle, the shot term and the overlap correction are scored in a
+// single multi-term pass (termScan): the Eq. 5 pixel cost is piecewise
+// linear with a breakpoint at ρ, so scoring the two dose terms
+// separately and summing would be wrong wherever their strips overlap.
 func (e *Eval) DeltaCost(i int, repl geom.Rect) float64 {
 	old := e.Shots[i]
 	if old == repl {
 		return 0
 	}
 	e.Evals++
+	if j := e.partner[i]; j >= 0 {
+		oOld := pairOverlap(old, e.Shots[j])
+		oNew := pairOverlap(repl, e.Shots[j])
+		if oOld != oNew {
+			return e.pairedMoveDelta(old, repl, oOld, oNew)
+		}
+	}
 	return e.moveScan(old, repl, false)
 }
 

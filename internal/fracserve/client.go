@@ -253,6 +253,35 @@ func (c *Client) Plan(ctx context.Context, req *PlanRequest) (*PlanResponse, err
 	return &out, nil
 }
 
+// ReportClassUses credits congruence classes with placements the
+// caller resolved locally (POST /stats/classes), keeping the server's
+// class statistics counting placements instead of wire requests.
+func (c *Client) ReportClassUses(ctx context.Context, req *ClassUsesRequest) (*ClassUsesReply, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("fracserve: encode request: %w", err)
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/stats/classes", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	decorate(ctx, hr)
+	resp, err := c.http().Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, statusError(resp)
+	}
+	var out ClassUsesReply
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("%w: decode response: %v", ErrProtocol, err)
+	}
+	return &out, nil
+}
+
 // Stats fetches the server statistics.
 func (c *Client) Stats(ctx context.Context) (*StatsReply, error) {
 	return c.stats(ctx, c.BaseURL+"/stats")

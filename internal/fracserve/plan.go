@@ -3,10 +3,12 @@ package fracserve
 import (
 	"encoding/hex"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"time"
 
 	"maskfrac"
+	"maskfrac/internal/maskio"
 	"maskfrac/internal/stencil"
 	"maskfrac/internal/writecost"
 )
@@ -24,11 +26,75 @@ func topClassesWire(stats []maskfrac.ClassStat) []stencil.Class {
 			Key:        hex.EncodeToString(st.Key[:]),
 			Placements: int64(st.Placements),
 			Shots:      st.Shots,
+			Flashes:    st.Flashes,
 			W:          st.W,
 			H:          st.H,
 		}
 	}
 	return out
+}
+
+// handleClassUses serves POST /stats/classes: credit congruence
+// classes with placements a batch client resolved from its own memo.
+// Without this, the stencil planner's placement counts measure wire
+// requests instead of mask placements and undervalue heavily memoized
+// classes.
+func (s *Server) handleClassUses(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.cache == nil {
+		writeError(w, http.StatusBadRequest, "class statistics need the shape cache; the server runs with caching disabled")
+		return
+	}
+	var req ClassUsesRequest
+	r.Body = http.MaxBytesReader(w, r.Body, 8<<20)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	// the key derivation must mirror handleFracture exactly — method,
+	// params and options are baked into the class key
+	method := maskfrac.MethodMBF
+	if req.Method != "" {
+		method = maskfrac.Method(req.Method)
+		if !knownMethod(method) {
+			writeError(w, http.StatusBadRequest, "unknown method "+req.Method)
+			return
+		}
+	}
+	params := s.cfg.Params
+	if req.Params != nil {
+		params = mergeParams(params, *req.Params)
+	}
+	var opt *maskfrac.Options
+	if req.Options != nil {
+		opt = &maskfrac.Options{
+			MaxIterations:  req.Options.MaxIterations,
+			ColoringOrder:  req.Options.ColoringOrder,
+			SkipRefinement: req.Options.SkipRefinement,
+		}
+	}
+	reply := ClassUsesReply{}
+	for i, cu := range req.Classes {
+		target, err := maskio.PolygonFromWire(cu.Shape)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("class %d: %s", i, err))
+			return
+		}
+		key, err := maskfrac.CacheKeyFor(target, params, method, opt)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("class %d: %s", i, err))
+			return
+		}
+		if cu.Uses == 0 {
+			continue
+		}
+		s.cache.AddClassUses(key, cu.Uses)
+		reply.Credited++
+	}
+	writeJSON(w, http.StatusOK, reply)
 }
 
 // modelWith overlays a request's CP overrides on the default cost

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"testing"
 
+	"maskfrac/internal/geom"
 	"maskfrac/internal/maskio"
 	"maskfrac/internal/shapegen"
 )
@@ -98,6 +99,102 @@ func TestE2EPlanDemoLibrary(t *testing.T) {
 	b2, _ := json.Marshal(again.Plan)
 	if string(b1) != string(b2) {
 		t.Errorf("replan diverged:\n%s\nvs\n%s", b1, b2)
+	}
+}
+
+// TestE2EClassUses: POST /stats/classes credits memoized placement
+// multiplicities into the class statistics the planner mines.
+func TestE2EClassUses(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+	ctx := context.Background()
+
+	// one real solve establishes the class record with its solution
+	item, err := c.Fracture(ctx, testL(), "proto-eda")
+	if err != nil {
+		t.Fatalf("fracture: %v", err)
+	}
+	st, err := c.StatsTop(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.TopClasses) != 1 || st.TopClasses[0].Placements != 1 {
+		t.Fatalf("classes after one solve = %+v", st.TopClasses)
+	}
+
+	// the report carries the shape; the server re-derives the class key
+	// with its own params so the credit lands on the solve's record
+	reply, err := c.ReportClassUses(ctx, &ClassUsesRequest{
+		Method:  "proto-eda",
+		Classes: []ClassUse{{Shape: maskio.PolygonWire(testL()), Uses: 41}},
+	})
+	if err != nil {
+		t.Fatalf("report class uses: %v", err)
+	}
+	if reply.Credited != 1 {
+		t.Fatalf("credited = %d, want 1", reply.Credited)
+	}
+	st, err = c.StatsTop(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.TopClasses) != 1 {
+		t.Fatalf("credit by shape created a second class record: %+v", st.TopClasses)
+	}
+	cl := st.TopClasses[0]
+	if cl.Placements != 42 {
+		t.Errorf("placements after credit = %d, want 42", cl.Placements)
+	}
+	if cl.Shots != item.ShotCount {
+		t.Errorf("credit clobbered the solution stats: %+v", cl)
+	}
+
+	// malformed shapes are rejected wholesale
+	_, err = c.ReportClassUses(ctx, &ClassUsesRequest{Classes: []ClassUse{{Shape: [][2]float64{{0, 0}, {1, 0}}, Uses: 1}}})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != 400 {
+		t.Fatalf("bad shape = %v, want HTTP 400", err)
+	}
+}
+
+// TestE2ELShotsOnWire: an mbf-l request returns L-shot pairs and flash
+// counts on both /fracture and /solve, and the batch summary prices
+// flashes.
+func TestE2ELShotsOnWire(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+	ctx := context.Background()
+
+	resp, err := c.Do(ctx, &Request{Shape: maskio.PolygonWire(testL()), Method: "mbf-l"})
+	if err != nil {
+		t.Fatalf("fracture: %v", err)
+	}
+	it := resp.Results[0]
+	if it.Error != "" {
+		t.Fatalf("item error: %s", it.Error)
+	}
+	if len(it.LPairs) == 0 {
+		t.Fatal("mbf-l returned no L-pairs for an L-shaped target")
+	}
+	if it.FlashCount != it.ShotCount-len(it.LPairs) {
+		t.Errorf("flash count %d, want %d", it.FlashCount, it.ShotCount-len(it.LPairs))
+	}
+	for _, pr := range it.LPairs {
+		if pr[0] >= pr[1] || pr[0] < 0 || pr[1] >= it.ShotCount {
+			t.Errorf("malformed pair %v over %d shots", pr, it.ShotCount)
+		}
+	}
+	if resp.Summary.Flashes != resp.Summary.Shots-len(it.LPairs) {
+		t.Errorf("summary flashes = %d, want %d", resp.Summary.Flashes, resp.Summary.Shots-len(it.LPairs))
+	}
+
+	sresp, err := c.SolveShapes(ctx, []geom.Polygon{testL()}, "mbf-l")
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if len(sresp.LPairs) == 0 {
+		t.Fatal("/solve returned no L-pairs")
+	}
+	if sresp.FlashCount != sresp.ShotCount-len(sresp.LPairs) {
+		t.Errorf("solve flash count %d, want %d", sresp.FlashCount, sresp.ShotCount-len(sresp.LPairs))
 	}
 }
 

@@ -174,6 +174,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("/plan", s.handlePlan)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/stats/classes", s.handleClassUses)
 	mux.Handle("/metrics", s.reg.Handler())
 	mux.HandleFunc("/debug/traces", s.handleTraces)
 	mux.HandleFunc("/debug/traces/", s.handleTraces)
@@ -350,7 +351,7 @@ func (s *Server) observe(h http.Handler) http.Handler {
 // cannot blow up metric cardinality with random paths.
 func pathLabel(path string) string {
 	switch path {
-	case "/fracture", "/solve", "/plan", "/healthz", "/stats", "/metrics", "/clusterz":
+	case "/fracture", "/solve", "/plan", "/healthz", "/stats", "/stats/classes", "/metrics", "/clusterz":
 		return path
 	}
 	if len(path) >= len("/debug/pprof") && path[:len("/debug/pprof")] == "/debug/pprof" {
@@ -485,6 +486,10 @@ func (s *Server) run(j *job) {
 		item.Error = err.Error()
 	} else {
 		item.ShotCount = res.ShotCount()
+		if len(res.LPairs) > 0 {
+			item.LPairs = res.LPairs
+			item.FlashCount = res.FlashCount()
+		}
 		item.FailOn = res.FailOn
 		item.FailOff = res.FailOff
 		item.Cost = res.Cost
@@ -652,6 +657,7 @@ func (s *Server) handleFracture(w http.ResponseWriter, r *http.Request) {
 	}
 
 	resp := Response{Results: results}
+	pairs := 0
 	for _, it := range results {
 		resp.Summary.Shapes++
 		if it.Error != "" {
@@ -659,12 +665,16 @@ func (s *Server) handleFracture(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		resp.Summary.Shots += it.ShotCount
+		pairs += len(it.LPairs)
 		if it.Feasible {
 			resp.Summary.Feasible++
 		}
 		if it.CacheHit {
 			resp.Summary.CacheHits++
 		}
+	}
+	if pairs > 0 {
+		resp.Summary.Flashes = resp.Summary.Shots - pairs
 	}
 	resp.TraceID = root.TraceID()
 	wire := s.finishTrace(root, remote, reqID, "")

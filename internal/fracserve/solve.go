@@ -113,6 +113,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	resp := SolveResponse{
 		ShotCount: res.ShotCount(),
+		LPairs:    res.LPairs,
 		Regions:   res.Regions,
 		FailOn:    res.FailOn,
 		FailOff:   res.FailOff,
@@ -120,6 +121,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		Feasible:  res.Feasible(),
 		SolveMS:   float64(res.Runtime) / float64(time.Millisecond),
 		EvalMS:    float64(res.EvalTime) / float64(time.Millisecond),
+	}
+	if len(res.LPairs) > 0 {
+		resp.FlashCount = res.FlashCount()
 	}
 	if !req.OmitShots {
 		resp.Shots = maskio.ShotsWire(res.Shots)

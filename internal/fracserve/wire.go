@@ -12,6 +12,8 @@
 //	GET  /healthz  — liveness probe
 //	GET  /stats    — cache counters, queue depth, per-method aggregates;
 //	                 ?classes=K adds the top-K congruence classes
+//	POST /stats/classes — credit congruence classes with placements a
+//	                 batch client memoized locally (ClassUsesRequest)
 //	GET  /debug/traces — retained request traces (see tracestore)
 package fracserve
 
@@ -65,24 +67,34 @@ type OptionsWire struct {
 
 // ItemResult is the outcome for one shape of a request, in input order.
 type ItemResult struct {
-	Index     int          `json:"index"`
-	Error     string       `json:"error,omitempty"`
-	Shots     [][4]float64 `json:"shots,omitempty"`
-	ShotCount int          `json:"shot_count"`
-	FailOn    int          `json:"fail_on"`
-	FailOff   int          `json:"fail_off"`
-	Cost      float64      `json:"cost"`
-	Feasible  bool         `json:"feasible"`
-	CacheHit  bool         `json:"cache_hit"`
-	SolveMS   float64      `json:"solve_ms"`
-	EvalMS    float64      `json:"eval_ms"`
+	Index int          `json:"index"`
+	Error string       `json:"error,omitempty"`
+	Shots [][4]float64 `json:"shots,omitempty"`
+	// LPairs lists L-shot pairs as {i, j} indices into Shots: each pair
+	// is two rectangles exposed as one L-shaped flash sharing a dose.
+	// Present only for L-capable methods ("mbf-l").
+	LPairs    [][2]int `json:"l_pairs,omitempty"`
+	ShotCount int      `json:"shot_count"`
+	// FlashCount is the VSB flash count, ShotCount minus len(LPairs);
+	// omitted when it equals ShotCount.
+	FlashCount int     `json:"flash_count,omitempty"`
+	FailOn     int     `json:"fail_on"`
+	FailOff    int     `json:"fail_off"`
+	Cost       float64 `json:"cost"`
+	Feasible   bool    `json:"feasible"`
+	CacheHit   bool    `json:"cache_hit"`
+	SolveMS    float64 `json:"solve_ms"`
+	EvalMS     float64 `json:"eval_ms"`
 }
 
 // Summary aggregates a response.
 type Summary struct {
-	Shapes    int `json:"shapes"`
-	Errors    int `json:"errors"`
-	Shots     int `json:"shots"`
+	Shapes int `json:"shapes"`
+	Errors int `json:"errors"`
+	Shots  int `json:"shots"`
+	// Flashes is the batch's VSB flash total: Shots minus the L-shot
+	// pairs of L-capable methods. Omitted when it equals Shots.
+	Flashes   int `json:"flashes,omitempty"`
 	Feasible  int `json:"feasible"`
 	CacheHits int `json:"cache_hits"`
 }
@@ -148,8 +160,16 @@ type QualityWire struct {
 
 // SolveResponse is the POST /solve reply.
 type SolveResponse struct {
-	Shots     [][4]float64 `json:"shots,omitempty"`
-	ShotCount int          `json:"shot_count"`
+	Shots [][4]float64 `json:"shots,omitempty"`
+	// LPairs lists L-shot pairs of the merged shot list as {i, j}
+	// index pairs (see ItemResult.LPairs). Present only for L-capable
+	// methods ("mbf-l"). Pair indices refer to the full merged list
+	// even when OmitShots drops the coordinates.
+	LPairs    [][2]int `json:"l_pairs,omitempty"`
+	ShotCount int      `json:"shot_count"`
+	// FlashCount is the VSB flash count, ShotCount minus len(LPairs);
+	// omitted when it equals ShotCount.
+	FlashCount int `json:"flash_count,omitempty"`
 	// Regions is the number of proximity-independent regions the
 	// instance decomposed into.
 	Regions  int          `json:"regions"`
@@ -207,6 +227,37 @@ type StatsReply struct {
 	// present when the request asked for them with ?classes=K. The
 	// stencil planner mines these across the cluster.
 	TopClasses []stencil.Class `json:"top_classes,omitempty"`
+}
+
+// ClassUse credits one congruence class with placements the caller
+// resolved without contacting the server: a batch client that memoizes
+// congruent shapes locally reports the collapsed multiplicity here so
+// the server's class statistics count placements, not wire requests.
+type ClassUse struct {
+	// Shape is a representative polygon of the class as a [[x,y], ...]
+	// vertex list (any placement's polygon works — the server
+	// canonicalizes it). The server derives the class key from it with
+	// its own parameters, so the credit lands on the same record the
+	// original solves created.
+	Shape [][2]float64 `json:"shape"`
+	// Uses is how many extra placements to credit.
+	Uses uint64 `json:"uses"`
+}
+
+// ClassUsesRequest is the POST /stats/classes body. Method, Params and
+// Options must match the fracture requests whose placements are being
+// credited — they are part of the class key.
+type ClassUsesRequest struct {
+	Method  string       `json:"method,omitempty"`
+	Params  *ParamsWire  `json:"params,omitempty"`
+	Options *OptionsWire `json:"options,omitempty"`
+	Classes []ClassUse   `json:"classes"`
+}
+
+// ClassUsesReply is the POST /stats/classes reply.
+type ClassUsesReply struct {
+	// Credited is the number of class records updated.
+	Credited int `json:"credited"`
 }
 
 // CPWire overrides the server's default character-projection cost

@@ -113,7 +113,12 @@ type RegionResult struct {
 type Result struct {
 	// Shots is the merged shot list, ordered by (region index, shot
 	// order within the region) — deterministic regardless of Workers.
-	Shots   []geom.Rect
+	Shots []geom.Rect
+	// Pairs lists L-shot pairs of Shots as {i, j} index pairs with
+	// i < j, in region order with each region's pair indices offset by
+	// the shots the preceding regions contributed. Nil for
+	// rectangle-only methods.
+	Pairs   [][2]int
 	Regions []RegionResult // in region order
 }
 
@@ -146,6 +151,7 @@ func Solve(ctx context.Context, p *cover.Problem, cfg Config) (*Result, error) {
 		}
 		return &Result{
 			Shots: sol.Shots,
+			Pairs: sol.Pairs,
 			Regions: []RegionResult{{
 				Targets: regions[0].Targets,
 				Bounds:  regions[0].Bounds,
@@ -167,6 +173,7 @@ func Solve(ctx context.Context, p *cover.Problem, cfg Config) (*Result, error) {
 	}
 	results := make([]RegionResult, len(regions))
 	shots := make([][]geom.Rect, len(regions))
+	pairs := make([][][2]int, len(regions))
 	errs := make([]error, len(regions))
 	solveRegion := func(i int) {
 		rctx, span := telemetry.StartSpan(ctx, "region")
@@ -192,6 +199,7 @@ func Solve(ctx context.Context, p *cover.Problem, cfg Config) (*Result, error) {
 			return
 		}
 		shots[i] = sol.Shots
+		pairs[i] = sol.Pairs
 		results[i] = RegionResult{
 			Targets: regions[i].Targets,
 			Bounds:  regions[i].Bounds,
@@ -243,11 +251,19 @@ func Solve(ctx context.Context, p *cover.Problem, cfg Config) (*Result, error) {
 		total += len(s)
 	}
 	merged := make([]geom.Rect, 0, total)
-	for _, s := range shots {
+	var mergedPairs [][2]int
+	for ri, s := range shots {
+		// re-base the region's L-shot pair indices onto the merged list:
+		// the region's shot k sits at position base+k after the stitch
+		base := len(merged)
+		for _, pr := range pairs[ri] {
+			mergedPairs = append(mergedPairs, [2]int{base + pr[0], base + pr[1]})
+		}
 		merged = append(merged, s...)
 	}
 	stitchSpan.Set("regions", len(regions))
 	stitchSpan.Set("shots", total)
+	stitchSpan.Set("pairs", len(mergedPairs))
 	stitchSpan.End()
-	return &Result{Shots: merged, Regions: results}, nil
+	return &Result{Shots: merged, Pairs: mergedPairs, Regions: results}, nil
 }

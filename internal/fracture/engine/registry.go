@@ -37,6 +37,10 @@ type Options struct {
 // Solution is one solver run's output for one prepared problem.
 type Solution struct {
 	Shots []geom.Rect
+	// Pairs lists L-shot pairs of Shots as {i, j} index pairs with
+	// i < j: each pair is two rectangles written as one L-shaped flash
+	// sharing one dose. Nil for rectangle-only solvers.
+	Pairs [][2]int
 	// Stage holds solver-specific stage statistics (*mbf.StageInfo for
 	// "mbf"); nil when the solver reports none. The facade type-asserts
 	// it back, keeping the registry free of solver imports.

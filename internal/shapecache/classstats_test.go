@@ -47,6 +47,49 @@ func TestClassStatsCounting(t *testing.T) {
 	}
 }
 
+// TestClassStatsFlashes: a stored solution with L-shot pairs records
+// its flash count (shots − pairs) alongside the shot count.
+func TestClassStatsFlashes(t *testing.T) {
+	c := New(8)
+	ctx := context.Background()
+	k := statKey(7)
+	paired := statEntry(4)
+	paired.Pairs = [][2]int{{0, 1}}
+	if _, _, err := c.Do(ctx, k, func() (*Entry, error) { return paired, nil }); err != nil {
+		t.Fatal(err)
+	}
+	top := c.TopClasses(0)
+	if len(top) != 1 || top[0].Shots != 4 || top[0].Flashes != 3 {
+		t.Errorf("stat = %+v, want shots 4 flashes 3", top[0])
+	}
+}
+
+// TestAddClassUses: crediting multiplicities bumps placements without a
+// lookup, creates records for unseen classes, and backfills the
+// solution shape from a stored entry.
+func TestAddClassUses(t *testing.T) {
+	c := New(8)
+	ctx := context.Background()
+	k := statKey(9)
+	if _, _, err := c.Do(ctx, k, func() (*Entry, error) { return statEntry(2), nil }); err != nil {
+		t.Fatal(err)
+	}
+	c.AddClassUses(k, 99)
+	c.AddClassUses(statKey(10), 5) // never looked up: record with no shape
+	c.AddClassUses(statKey(11), 0) // no-op
+
+	top := c.TopClasses(0)
+	if len(top) != 2 {
+		t.Fatalf("tracked classes = %d, want 2", len(top))
+	}
+	if top[0].Key != k || top[0].Placements != 100 || top[0].Shots != 2 {
+		t.Errorf("top[0] = %+v, want key 9 placements 100 shots 2", top[0])
+	}
+	if top[1].Key != statKey(10) || top[1].Placements != 5 || top[1].Shots != 0 {
+		t.Errorf("top[1] = %+v, want key 10 placements 5 shots 0", top[1])
+	}
+}
+
 // TestClassStatsTopKOrder checks descending-placement order with the
 // key-byte tie-break, and the k bound.
 func TestClassStatsTopKOrder(t *testing.T) {

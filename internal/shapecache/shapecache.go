@@ -15,6 +15,11 @@ import (
 type Entry struct {
 	// Shots is the solver's shot list mapped into the canonical frame.
 	Shots []geom.Rect
+	// Pairs lists the solution's L-shot pairs as {i, j} indices into
+	// Shots (i < j, each shot in at most one pair). Canonicalization
+	// preserves shot order, so the indices are frame-independent. Nil
+	// for rectangle-only solutions.
+	Pairs [][2]int
 	// Meta carries caller-defined solution metadata (evaluation counts,
 	// stage statistics, timings). The cache never inspects it.
 	Meta any
@@ -46,6 +51,7 @@ type ClassStat struct {
 	Key        Key
 	Placements uint64  // successful lookups for the class
 	Shots      int     // stored solution shot count
+	Flashes    int     // VSB flashes: shots minus L-shot pairs
 	W, H       float64 // canonical-frame bbox of the stored shot list, nm
 }
 
@@ -227,10 +233,53 @@ func (c *Cache) noteClassLocked(k Key, e *Entry) {
 		c.classes[k] = st
 	}
 	st.Placements++
-	if e != nil && len(e.Shots) != st.Shots {
+	if e != nil && (len(e.Shots) != st.Shots || len(e.Shots)-len(e.Pairs) != st.Flashes) {
 		st.Shots = len(e.Shots)
+		st.Flashes = len(e.Shots) - len(e.Pairs)
 		st.W, st.H = shotsBBox(e.Shots)
 	}
+}
+
+// AddClassUses credits k with n extra placements without a lookup.
+// The cluster pipeline calls this for class-memo multiplicities: a
+// shard's memo collapses congruent placements into one wire request,
+// so the server-side cache sees one lookup where the mask has many
+// placements. n placements are added to the class record (creating it
+// if needed), keeping the stencil planner's frequency signal honest.
+// A class never seen by a lookup has no stored solution to size, so a
+// record created here carries zero Shots/Flashes until a real lookup
+// fills them in.
+func (c *Cache) AddClassUses(k Key, n uint64) {
+	if n == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.classes[k]
+	if st == nil {
+		if len(c.classes) >= c.classCap {
+			c.pruneClassesLocked()
+		}
+		st = &ClassStat{Key: k}
+		c.classes[k] = st
+	}
+	st.Placements += n
+	if st.Shots == 0 {
+		if e := c.peekLocked(k); e != nil {
+			st.Shots = len(e.Shots)
+			st.Flashes = len(e.Shots) - len(e.Pairs)
+			st.W, st.H = shotsBBox(e.Shots)
+		}
+	}
+}
+
+// peekLocked returns the entry stored under k without touching the
+// LRU order.
+func (c *Cache) peekLocked(k Key) *Entry {
+	if el, ok := c.entries[k]; ok {
+		return el.Value.(*lruItem).entry
+	}
+	return nil
 }
 
 // pruneClassesLocked halves the class-stat map, keeping the highest

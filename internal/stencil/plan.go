@@ -39,7 +39,10 @@ type Character struct {
 	X float64 `json:"x"`
 	Y float64 `json:"y"`
 	// SavedMS is the per-mask write-time saving from stenciling the
-	// class: placements × (shots×ShotTime − CPFlashTime), in ms.
+	// class: placements × (VSBFlashes×ShotTime − CPFlashTime), in ms.
+	// The VSB baseline is flashes, not rectangles: a class solved with
+	// L-shot pairs already writes fewer flashes than shots, so its
+	// stencil value is correspondingly lower.
 	SavedMS float64 `json:"saved_ms"`
 }
 
@@ -93,7 +96,7 @@ func PlanCP(ctx context.Context, classes []Class, m writecost.Model) *Plan {
 	_, cspan := telemetry.StartSpan(ctx, "stencil.candidates")
 	var viable []cand
 	for _, c := range classes {
-		saved := float64(c.Placements) * (float64(c.Shots)*shotMS - flashMS)
+		saved := float64(c.Placements) * (float64(c.VSBFlashes())*shotMS - flashMS)
 		fw, fh := c.W+b.Margin, c.H+b.Margin
 		if saved <= 0 || c.Shots == 0 || c.W <= 0 || c.H <= 0 || fw > b.W || fh > b.H {
 			continue

@@ -16,8 +16,12 @@ import (
 type Report struct {
 	// TotalPlacements and TotalShots describe the mined mask: every
 	// placement of every class, and the VSB shots they need without CP.
+	// TotalFlashes is the beam flashes those shots cost — TotalShots
+	// minus the classes' L-shot pairs — and is what the baseline write
+	// time is priced on.
 	TotalPlacements int64 `json:"total_placements"`
 	TotalShots      int64 `json:"total_shots"`
+	TotalFlashes    int64 `json:"total_flashes"`
 	// CPPlacements is the number of placements written by stencil flash;
 	// CPShotsReplaced the VSB shots those flashes replace.
 	CPPlacements    int64 `json:"cp_placements"`
@@ -47,8 +51,9 @@ func (p *Plan) price(classes []Class, m writecost.Model) {
 	for _, c := range classes {
 		r.TotalPlacements += c.Placements
 		r.TotalShots += c.Placements * int64(c.Shots)
+		r.TotalFlashes += c.Placements * int64(c.VSBFlashes())
 	}
-	r.BaselineWriteMS = ms(m.Overhead) + float64(r.TotalShots)*shotMS
+	r.BaselineWriteMS = ms(m.Overhead) + float64(r.TotalFlashes)*shotMS
 	for _, ch := range p.Characters {
 		r.CPPlacements += ch.Placements
 		r.CPShotsReplaced += ch.Placements * int64(ch.Shots)

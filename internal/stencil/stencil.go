@@ -33,10 +33,25 @@ type Class struct {
 	Placements int64 `json:"placements"`
 	// Shots is the class's solved VSB shot count per placement.
 	Shots int `json:"shots"`
+	// Flashes is the class's VSB flash count per placement: Shots minus
+	// the solution's L-shot pairs. Zero means "not reported" (a
+	// rectangle-only solution or an older node) and is read as Shots —
+	// see VSBFlashes.
+	Flashes int `json:"flashes,omitempty"`
 	// W, H is the canonical-frame bounding box of the solved shot list
 	// in nm — the area the character occupies on the stencil.
 	W float64 `json:"w"`
 	H float64 `json:"h"`
+}
+
+// VSBFlashes returns the beam flashes one placement of the class costs
+// without CP: Flashes when reported, else Shots (rectangle-only
+// solutions write one flash per shot).
+func (c Class) VSBFlashes() int {
+	if c.Flashes > 0 {
+		return c.Flashes
+	}
+	return c.Shots
 }
 
 // Merge combines per-node class tables into one mask-wide view. The
@@ -59,7 +74,7 @@ func Merge(lists ...[]Class) []Class {
 			}
 			m.Placements += c.Placements
 			if m.Shots == 0 {
-				m.Shots, m.W, m.H = c.Shots, c.W, c.H
+				m.Shots, m.Flashes, m.W, m.H = c.Shots, c.Flashes, c.W, c.H
 			}
 		}
 	}

@@ -5,6 +5,14 @@
 // (dominated by e-beam tool depreciation), so a 10% shot-count
 // reduction translates to about a 2% mask cost reduction — significant
 // when a modern mask set exceeds a million dollars.
+//
+// What the beam actually pays for is flashes, not rectangles: an
+// L-shot — two overlapping rectangles sharing one dose, exposed
+// through an L-shaped aperture — is one flash, so a solution with
+// L-shot pairs writes in Flashes(shots, pairs) beam cycles. Every
+// flash-count input below (WriteTime, WriteTimeCP, CostReduction)
+// should be fed flash counts when the solver reports pairs;
+// rectangle-only solutions have flashes == shots.
 package writecost
 
 import (
@@ -64,6 +72,19 @@ func Default() Model {
 		CPStencilH:     2000,
 		CPLoadOverhead: time.Minute,
 	}
+}
+
+// Flashes converts a shot count plus an L-shot pair count to the beam
+// flash count that prices the write: each pair merges two rectangle
+// shots into one L-shaped flash, so flashes = shots − pairs. Negative
+// inputs and pair counts exceeding shots/2 are the caller's bug; the
+// result is clamped to zero so pricing never goes negative.
+func Flashes(shots, lPairs int) int64 {
+	f := int64(shots) - int64(lPairs)
+	if f < 0 {
+		return 0
+	}
+	return f
 }
 
 // WriteTime returns the estimated write time for a mask with the given

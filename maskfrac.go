@@ -67,6 +67,12 @@ const (
 	// MethodMBF is the paper's method: graph-coloring-based approximate
 	// fracturing followed by iterative shot refinement.
 	MethodMBF Method = "mbf"
+	// MethodMBFL is MethodMBF plus an L-shot matching pass: after
+	// refinement, compatible rectangle pairs merge into single L-shaped
+	// exposures via maximum matching, each pair pricing as one flash.
+	// The pairs are reported in Result.LPairs; the pass never increases
+	// the CD-violation count relative to MethodMBF's refined solution.
+	MethodMBFL Method = "mbf-l"
 	// MethodGSC is the greedy set cover baseline.
 	MethodGSC Method = "gsc"
 	// MethodMP is the matching pursuit baseline.
@@ -158,8 +164,12 @@ func (pr *Problem) PixelCounts() (on, off int) { return pr.p.OnCount(), pr.p.Off
 
 // Result is the outcome of a fracturing run.
 type Result struct {
-	Method   Method
-	Shots    []Shot
+	Method Method
+	Shots  []Shot
+	// LPairs lists L-shot pairs of Shots as {i, j} index pairs with
+	// i < j: each pair is two rectangles written as one L-shaped flash
+	// sharing one dose (MethodMBFL). Nil for rectangle-only methods.
+	LPairs   [][2]int
 	FailOn   int           // failing interior pixels (dose below ρ)
 	FailOff  int           // failing exterior pixels (dose at/above ρ)
 	Cost     float64       // Σ|Itot−ρ| over failing pixels (paper Eq. 5)
@@ -184,10 +194,22 @@ type StageInfo struct {
 	Lth          float64 // longest writable 45° segment
 	InitialShots int     // shots after the coloring stage
 	Iterations   int     // refinement iterations run
+
+	// L-shot matching pass statistics (zero unless MethodMBFL).
+	LCandidates int // L-compatible shot pairs found
+	LMatched    int // pairs selected by maximum matching
+	LPairs      int // pairs kept after repair (== flashes saved)
 }
 
-// ShotCount returns the number of shots.
+// ShotCount returns the number of rectangle entries in Shots. Each
+// L-shot pair counts as two entries here; see FlashCount for the
+// number of e-beam flashes the mask writer fires.
 func (r *Result) ShotCount() int { return len(r.Shots) }
+
+// FlashCount returns the number of e-beam flashes the solution writes
+// in: every L-shot pair is one flash, every unpaired rectangle is one.
+// Equal to ShotCount for rectangle-only methods.
+func (r *Result) FlashCount() int { return len(r.Shots) - len(r.LPairs) }
 
 // FailingPixels returns the total number of CD-violating pixels.
 func (r *Result) FailingPixels() int { return r.FailOn + r.FailOff }
@@ -236,6 +258,7 @@ func (pr *Problem) FractureCtx(ctx context.Context, m Method, opt *Options) (*Re
 		return nil, fmt.Errorf("maskfrac: %w", err)
 	}
 	res.Shots = run.Shots
+	res.LPairs = run.Pairs
 	res.Regions = len(run.Regions)
 	res.Stage = foldStages(run)
 	res.Runtime = time.Since(start)
@@ -244,7 +267,7 @@ func (pr *Problem) FractureCtx(ctx context.Context, m Method, opt *Options) (*Re
 	solveSpan.End()
 	evalStart := time.Now()
 	_, evalSpan := telemetry.StartSpan(ctx, "evaluate")
-	st := pr.p.Evaluate(res.Shots)
+	st := pr.p.EvaluatePaired(res.Shots, res.LPairs)
 	res.EvalTime = time.Since(evalStart)
 	res.FailOn = st.FailOn
 	res.FailOff = st.FailOff
@@ -277,6 +300,9 @@ func foldStages(run *engine.Result) *StageInfo {
 		agg.Colors += info.Colors
 		agg.InitialShots += info.InitialShots
 		agg.Iterations = max(agg.Iterations, info.RefineIterations)
+		agg.LCandidates += info.LCandidates
+		agg.LMatched += info.LMatched
+		agg.LPairs += info.LPairs
 	}
 	return agg
 }

@@ -22,7 +22,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-pattern="${1:-BenchmarkShapeCache|BenchmarkBatchCache|BenchmarkEngineRegions|BenchmarkRefine}"
+pattern="${1:-BenchmarkShapeCache|BenchmarkBatchCache|BenchmarkEngineRegions|BenchmarkRefine|BenchmarkLShapeSuite}"
 benchtime="${2:-1x}"
 date="$(date -u +%Y-%m-%d)"
 out="${OUT:-BENCH_${date}.json}"
@@ -52,20 +52,30 @@ BEGIN {
 }
 # benchmark result lines look like:
 #   BenchmarkShapeCacheHit-8   1000  1234 ns/op  456 B/op  7 allocs/op
+# b.ReportMetric units append as extra "<value> <unit>/op" pairs, e.g.
+#   BenchmarkLShapeSuite-8  1  9e8 ns/op  11 flashes/op  31 %reduction/op
 /^Benchmark/ && / ns\/op/ {
 	name = $1
 	iters = $2
 	nsop = $3
-	bop = ""; allocs = ""
+	bop = ""; allocs = ""; extras = ""
 	for (i = 3; i < NF; i++) {
-		if ($(i+1) == "ns/op") nsop = $i
-		if ($(i+1) == "B/op") bop = $i
-		if ($(i+1) == "allocs/op") allocs = $i
+		unit = $(i+1)
+		if (unit == "ns/op") nsop = $i
+		else if (unit == "B/op") bop = $i
+		else if (unit == "allocs/op") allocs = $i
+		else if (unit ~ /\/op$/ && $i ~ /^[0-9.eE+-]+$/) {
+			# custom b.ReportMetric unit: keep it verbatim as the key
+			gsub(/\\/, "\\\\", unit); gsub(/"/, "\\\"", unit)
+			if (extras != "") extras = extras ", "
+			extras = extras sprintf("\"%s\": %s", unit, $i)
+		}
 	}
 	if (n++) printf ",\n"
 	printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, nsop
 	if (bop != "") printf ", \"bytes_per_op\": %s", bop
 	if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+	if (extras != "") printf ", \"metrics\": {%s}", extras
 	printf "}"
 }
 END {

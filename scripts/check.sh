@@ -77,4 +77,12 @@ echo "== go test engine multicore speedup gate (>=2x at 4 workers) =="
 go test -count=1 -run 'TestEngineParallelSpeedup' -v . | grep -E 'SKIP|PASS|FAIL|speedup' || true
 go test -count=1 -run 'TestEngineParallelSpeedup' .
 
+# the L-shot gate fractures the EXPERIMENTS.md L-shape suite with both
+# mbf and mbf-l under the race detector and asserts the never-worse
+# guarantee: per shape, mbf-l flashes <= mbf shots at no more CD
+# violations. The determinism companion pins identical shot and pair
+# lists across 1/2/8 engine workers.
+echo "== go test -race L-shot gate (flashes <= rectangle shots) =="
+go test -race -count=1 -run 'TestLShotSuiteGate|TestLShotEngineDeterminism' .
+
 echo "check ok"
